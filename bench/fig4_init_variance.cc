@@ -1,0 +1,67 @@
+// Figure 4: variance caused by weight initialization. GAT is retrained many
+// times on a FIXED split with only the seed changing, with and without
+// graph self-ensemble (K = 3); GSE must shrink the min-max spread several-
+// fold and lift the mean, as in the paper (A: 4.3% -> 1.1%, C: 4.9% ->
+// 1.0%).
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "core/hierarchical.h"
+#include "graph/synthetic.h"
+#include "metrics/aggregate.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+  using namespace ahg::bench;
+  const bool fast = FastMode(argc, argv);
+
+  std::printf(
+      "== Figure 4: initialization variance, GAT vs GAT+GSE (K=3) ==\n"
+      "Paper reference: spread 4.3%% -> 1.1%% on A, 4.9%% -> 1.0%% on C "
+      "(100 runs).\n\n");
+
+  const int runs = fast ? 3 : 8;
+  TrainConfig train = DefaultBenchTrain();
+  train.max_epochs = fast ? 10 : 32;
+  CandidateSpec gat = FindCandidate("GAT");
+
+  TablePrinter table({"Dataset", "Method", "mean±std", "min", "max",
+                      "spread"});
+  for (const char* dataset : {"A", "C"}) {
+    Graph graph = MakePresetGraph(dataset, /*seed=*/64);
+    Rng rng(5);
+    DataSplit split = RandomSplit(graph, 0.4, 0.2, &rng);  // fixed split
+
+    std::vector<double> single_accs, gse_accs;
+    for (int run = 0; run < runs; ++run) {
+      {
+        ModelConfig mcfg = gat.config;
+        mcfg.seed = 10000 + run;
+        TrainConfig tcfg = train;
+        tcfg.seed = mcfg.seed ^ 0x99ULL;
+        single_accs.push_back(
+            TrainSingleNodeModel(mcfg, graph, split, tcfg).test_accuracy);
+      }
+      {
+        const int max_l = gat.config.num_layers;
+        HierarchicalResult gse =
+            TrainGse(gat, {max_l, std::max(1, max_l - 1), max_l}, graph,
+                     split, train, /*seed=*/20000 + 100 * run);
+        gse_accs.push_back(gse.test_accuracy);
+      }
+    }
+    for (const auto& [label, accs] :
+         {std::pair<const char*, std::vector<double>&>{"GAT", single_accs},
+          {"GAT+GSE", gse_accs}}) {
+      RunStats s = Summarize(accs);
+      table.AddRow({dataset, label, FormatMeanStd(s, true),
+                    FormatFloat(100 * s.min, 1), FormatFloat(100 * s.max, 1),
+                    FormatFloat(100 * (s.max - s.min), 1)});
+    }
+    std::printf("[dataset %s done: %d runs each]\n", dataset, runs);
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

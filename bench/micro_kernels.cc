@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks of the tensor/autodiff kernels the whole
+// system is built on: GEMM, SpMM, the GAT edge-softmax aggregation, and a
+// full GCN forward+backward step.
+#include <benchmark/benchmark.h>
+
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "graph/synthetic.h"
+#include "models/model.h"
+#include "models/model_zoo.h"
+#include "nn/linear.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ahg;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Gaussian(n, 64, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(64, 64, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * 64 * 64);
+}
+BENCHMARK(BM_MatMul)->Arg(256)->Arg(1024)->Arg(4096);
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    SyntheticConfig cfg;
+    cfg.num_nodes = 3000;
+    cfg.num_classes = 5;
+    cfg.feature_dim = 64;
+    cfg.avg_degree = 8.0;
+    cfg.seed = 3;
+    return new Graph(GenerateSbmGraph(cfg));
+  }();
+  return *graph;
+}
+
+void BM_Spmm(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Rng rng(2);
+  Matrix x = Matrix::Gaussian(g.num_nodes(), static_cast<int>(state.range(0)),
+                              1.0, &rng);
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Spmm(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * state.range(0));
+}
+BENCHMARK(BM_Spmm)->Arg(16)->Arg(64);
+
+void BM_GatAggregate(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Rng rng(4);
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kRawSelfLoops);
+  Var h = MakeConstant(Matrix::Gaussian(g.num_nodes(), 32, 1.0, &rng));
+  Var s_src = MakeConstant(Matrix::Gaussian(g.num_nodes(), 1, 1.0, &rng));
+  Var s_dst = MakeConstant(Matrix::Gaussian(g.num_nodes(), 1, 1.0, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GatAggregate(adj, s_src, s_dst, h, 0.2));
+  }
+}
+BENCHMARK(BM_GatAggregate);
+
+void BM_GcnTrainStep(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  ModelConfig cfg;
+  cfg.family = ModelFamily::kGcn;
+  cfg.in_dim = g.feature_dim();
+  cfg.hidden_dim = 32;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0;
+  cfg.seed = 5;
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  Rng head_rng(6);
+  Linear head(model->params(), 32, g.num_classes(), true, &head_rng);
+  Var features = MakeConstant(g.features());
+  std::vector<int> mask;
+  for (int i = 0; i < g.num_nodes(); i += 3) mask.push_back(i);
+  Rng dropout_rng(7);
+  for (auto _ : state) {
+    model->params()->ZeroGrad();
+    GnnContext ctx{&g, true, &dropout_rng};
+    Var logits = head.Apply(model->LayerOutputs(ctx, features).back());
+    Var loss = MaskedCrossEntropy(logits, g.labels(), mask);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss->value(0, 0));
+  }
+}
+BENCHMARK(BM_GcnTrainStep);
+
+void BM_BackwardOverhead(benchmark::State& state) {
+  // Chain of elementwise ops: measures tape traversal cost.
+  Rng rng(8);
+  Var p = MakeParam(Matrix::Gaussian(512, 32, 1.0, &rng));
+  for (auto _ : state) {
+    p->ZeroGrad();
+    Var h = p;
+    for (int i = 0; i < 16; ++i) h = Tanh(h);
+    Backward(SumAll(h));
+    benchmark::DoNotOptimize(p->grad.data());
+  }
+}
+BENCHMARK(BM_BackwardOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

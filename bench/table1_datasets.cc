@@ -1,0 +1,56 @@
+// Table I: statistics of the anonymous AutoGraph datasets. Prints the
+// paper's numbers next to the statistics of our synthetic analogs (with the
+// scale-down map of DESIGN.md Section 5 applied to C, D and E).
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "util/string_util.h"
+#include "graph/statistics.h"
+#include "graph/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+  using namespace ahg::bench;
+  (void)FastMode(argc, argv);  // this bench is cheap either way
+
+  std::printf("== Table I: dataset statistics (paper vs synthetic analog) "
+              "==\n\n");
+  struct PaperRow {
+    const char* name;
+    const char* nodes;
+    const char* edges;
+    const char* classes;
+    const char* directed;
+  };
+  const PaperRow paper[] = {
+      {"A", "1088/1620", "5278", "7", "-"},
+      {"B", "1334/1993", "4552", "6", "-"},
+      {"C", "4026/5974", "733316", "41", "-"},
+      {"D", "4009/5991", "5833962", "20", "yes"},
+      {"E", "3011/4510", "7804", "3", "-"},
+  };
+
+  TablePrinter table({"Dataset", "Paper nodes", "Paper edges",
+                      "Paper classes", "Analog nodes", "Analog edges",
+                      "Analog classes", "Directed", "Feat.dim", "AvgDeg",
+                      "Homophily", "Clustering"});
+  for (const PaperRow& row : paper) {
+    Graph g = MakePresetGraph(row.name, /*seed=*/1);
+    GraphStatistics stats = ComputeStatistics(g);
+    table.AddRow({row.name, row.nodes, row.edges, row.classes,
+                  std::to_string(g.num_nodes()),
+                  std::to_string(g.num_edges()),
+                  std::to_string(g.num_classes()),
+                  g.directed() ? "yes" : "-",
+                  std::to_string(g.feature_dim()),
+                  StrFormat("%.1f", stats.avg_degree),
+                  StrFormat("%.2f", stats.edge_homophily),
+                  StrFormat("%.2f", stats.avg_clustering)});
+  }
+  table.Print();
+  std::printf("\nC/D/E are scaled for a single CPU core; see DESIGN.md "
+              "Section 5. Dataset E has no intrinsic features — the\n"
+              "analog synthesizes random+degree structural features, the "
+              "standard featureless-graph treatment.\n");
+  return 0;
+}

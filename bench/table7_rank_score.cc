@@ -1,0 +1,67 @@
+// Table VII: the KDD Cup final leaderboard is scored by average rank across
+// the five final datasets. The other teams' submissions are unobtainable,
+// so this harness applies the same scoring rule to the methods we implement
+// across the A-E analogs: AutoHEnsGNN must attain the best (lowest) average
+// rank, mirroring team aister's first place (avg rank 4.8 of ~11 methods).
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "graph/synthetic.h"
+#include "metrics/aggregate.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+  using namespace ahg::bench;
+  const bool fast = FastMode(argc, argv);
+
+  std::printf(
+      "== Table VII: rank-score harness (competition scoring rule) ==\n"
+      "Paper reference: aister (AutoHEnsGNN) wins with average rank 4.8;\n"
+      "runner-up PASA_NJU 5.2. Here the \"teams\" are our implemented "
+      "methods.\n\n");
+
+  const std::vector<std::string> datasets{"A", "B", "C", "D", "E"};
+  RosterOptions options;
+  options.repeats = 1;
+  options.bagging = fast ? 1 : 2;
+  options.train = DefaultBenchTrain();
+  options.train.max_epochs = fast ? 10 : 22;
+  options.singles.clear();
+  for (const char* name : {"GCN", "GAT", "TAGC", "GraphSAGE-mean", "GCNII",
+                           "APPNP"}) {
+    options.singles.push_back(FindCandidate(name));
+  }
+  options.pool_n = 3;
+  options.k = 2;
+  options.seed = 1234;
+
+  std::vector<std::string> methods;
+  std::vector<std::vector<double>> scores_by_dataset;
+  for (const std::string& name : datasets) {
+    Graph graph = MakePresetGraph(name, /*seed=*/500 + name[0]);
+    std::vector<MethodScores> results = RunNodeRoster(graph, options);
+    if (methods.empty()) {
+      for (const MethodScores& m : results) methods.push_back(m.method);
+    }
+    std::vector<double> row;
+    for (const MethodScores& m : results) row.push_back(m.test_accs[0]);
+    scores_by_dataset.push_back(std::move(row));
+    std::printf("[dataset %s done]\n", name.c_str());
+  }
+
+  std::vector<double> avg_rank = AverageRankScore(scores_by_dataset);
+  std::vector<int> order(methods.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return avg_rank[a] < avg_rank[b]; });
+
+  std::printf("\nMeasured leaderboard (avg rank over A-E, lower wins):\n");
+  TablePrinter table({"Rank", "Method", "Average Rank Score"});
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    table.AddRow({std::to_string(pos + 1), methods[order[pos]],
+                  FormatFloat(avg_rank[order[pos]], 1)});
+  }
+  table.Print();
+  return 0;
+}

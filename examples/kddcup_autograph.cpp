@@ -1,0 +1,100 @@
+// End-to-end simulation of the KDD Cup 2020 AutoGraph challenge protocol:
+//
+//   1. a "competition server" writes a dataset directory in the AutoGraph
+//      on-disk format (Table X of the paper): edge/feature/label files plus
+//      a config.yml carrying the time budget — test labels withheld;
+//   2. the "participant" (this binary) reads the directory, runs
+//      AutoHEnsGNN_Adaptive under the time budget (the variant the winning
+//      team submitted, Section IV-E), and writes predictions.tsv;
+//   3. the "server" scores the predictions against the held-back labels.
+//
+// Run: ./build/examples/kddcup_autograph [dataset_dir]
+#include <cstdio>
+#include <fstream>
+
+#include "core/autohens.h"
+#include "graph/split.h"
+#include "graph/synthetic.h"
+#include "io/autograph_format.h"
+#include "models/model_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+  const std::string dir =
+      argc > 1 ? argv[1] : "/tmp/autograph_dataset_demo";
+
+  // --- competition server side: publish the dataset ---------------------
+  Graph truth = MakePresetGraph("B", /*seed=*/2020);
+  Rng rng(11);
+  DataSplit official = RandomSplit(truth, /*train=*/0.4, /*val=*/0.0, &rng);
+  Status write_status = WriteAutographDataset(
+      dir, truth, official.train, official.test, /*time_budget=*/120.0);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n",
+                 write_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset published to %s (test labels withheld)\n",
+              dir.c_str());
+
+  // --- participant side: no access to test labels -----------------------
+  auto dataset = ReadAutographDataset(dir);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const AutographDataset& ds = dataset.value();
+  std::printf("loaded: %d nodes, %lld edges, budget %.0fs\n",
+              ds.graph.num_nodes(),
+              static_cast<long long>(ds.graph.num_edges()),
+              ds.time_budget_seconds);
+
+  // Carve a validation set out of the observed training nodes.
+  Rng part_rng(5);
+  DataSplit split = RandomSplit(ds.graph, /*train=*/0.75, /*val=*/0.25,
+                                &part_rng);
+  split.test.clear();  // the participant has no labeled test set
+
+  AutoHEnsConfig config;
+  config.pool_size = 3;
+  config.k = 3;
+  config.algo = SearchAlgo::kAdaptive;  // the submitted memory-safe variant
+  config.proxy.dataset_ratio = 0.3;
+  config.proxy.bagging = 2;
+  config.proxy.train.max_epochs = 25;
+  config.proxy.train.patience = 6;
+  config.train.max_epochs = 50;
+  config.train.patience = 10;
+  config.train.learning_rate = 2e-2;
+  config.bagging_splits = 2;
+  config.time_budget_seconds = ds.time_budget_seconds;
+  config.seed = 42;
+  AutoHEnsResult result =
+      RunAutoHEnsGnn(ds.graph, split, CompactCandidatePool(), config);
+
+  // Write predictions for the official test nodes.
+  const std::string pred_path = dir + "/predictions.tsv";
+  {
+    std::ofstream out(pred_path);
+    for (int node : ds.test_nodes) {
+      out << node << "\t" << result.probs.ArgMaxRow(node) << "\n";
+    }
+  }
+  std::printf("pool: ");
+  for (const auto& name : result.pool_names) std::printf("%s ", name.c_str());
+  std::printf("\nwrote %s (validation accuracy %.3f)\n", pred_path.c_str(),
+              result.val_accuracy);
+
+  // --- server side again: score against withheld labels -----------------
+  int correct = 0, total = 0;
+  std::ifstream preds(pred_path);
+  int node = 0, pred = 0;
+  while (preds >> node >> pred) {
+    ++total;
+    correct += truth.labels()[node] == pred;
+  }
+  std::printf("server-side test accuracy: %.3f (%d/%d)\n",
+              static_cast<double>(correct) / total, correct, total);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Differentiable operations that consume graph structure. The SparseMatrix
+// operands are constants (adjacency never carries gradients); callers must
+// keep them alive for the duration of the backward pass — in practice the
+// Graph owns them and outlives every training loop.
+#ifndef AUTOHENS_AUTODIFF_GRAPH_OPS_H_
+#define AUTOHENS_AUTODIFF_GRAPH_OPS_H_
+
+#include <vector>
+
+#include "autodiff/variable.h"
+#include "tensor/sparse_matrix.h"
+
+namespace ahg {
+
+// Y = A * X with constant sparse A; backward propagates A^T * dY into X.
+Var Spmm(const SparseMatrix& a, const Var& x);
+
+// out[r, c] = max over stored entries (r, j) of x[j, c]; rows with no
+// entries yield 0. Backward routes each gradient to the arg-max source row
+// (GraphSAGE-maxpool aggregation).
+Var NeighborMaxPool(const SparseMatrix& a, const Var& x);
+
+// Single-head GAT aggregation. `a`'s row r lists the source nodes j feeding
+// node r (in-adjacency; include self-loops before calling). Attention logits
+// e_{rj} = LeakyReLU(s_dst[r] + s_src[j], slope), normalized by softmax over
+// row r, then out[r] = sum_j alpha_{rj} * h[j]. Gradients flow into s_src,
+// s_dst and h. `s_src`/`s_dst` are n x 1; `h` is n x d.
+Var GatAggregate(const SparseMatrix& a, const Var& s_src, const Var& s_dst,
+                 const Var& h, double leaky_slope);
+
+// AGNN-style propagation (Thekumparampil et al., 2018): attention logits
+// are scaled cosine similarities, e_{rj} = beta * cos(h_r, h_j) over the
+// stored entries (r, j) of `a` (in-adjacency with self loops), normalized
+// by softmax per row; out[r] = sum_j alpha_{rj} h[j]. `beta` is a trainable
+// 1 x 1 scalar. Gradients flow into both h (value and similarity paths)
+// and beta.
+Var CosineAttentionAggregate(const SparseMatrix& a, const Var& h,
+                             const Var& beta);
+
+// Pools node rows into per-graph rows: out[s] = sum (or mean) of x rows with
+// segment_ids[r] == s. Used for graph-level readout.
+Var SegmentPool(const Var& x, const std::vector<int>& segment_ids,
+                int num_segments, bool mean);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_AUTODIFF_GRAPH_OPS_H_

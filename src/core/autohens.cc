@@ -1,0 +1,91 @@
+#include "core/autohens.h"
+
+#include "ensemble/baselines.h"
+#include "metrics/metrics.h"
+#include "util/stopwatch.h"
+
+namespace ahg {
+
+AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
+                              const std::vector<CandidateSpec>& candidates,
+                              const AutoHEnsConfig& config) {
+  Stopwatch budget_watch;
+  AutoHEnsResult result;
+
+  // Stage 1: proxy evaluation -> pool of N architectures.
+  std::vector<CandidateSpec> pool;
+  if (!config.fixed_pool.empty()) {
+    pool = config.fixed_pool;
+  } else {
+    Stopwatch watch;
+    ProxyEvalResult ranking =
+        ProxyEvaluate(candidates, graph, config.proxy, config.seed);
+    pool = SelectTopCandidates(ranking, config.pool_size);
+    result.selection_seconds = watch.ElapsedSeconds();
+  }
+  AHG_CHECK(!pool.empty());
+  for (const auto& spec : pool) result.pool_names.push_back(spec.name);
+
+  // Stage 2: architecture/ensemble-weight search on the base split.
+  {
+    Stopwatch watch;
+    if (config.algo == SearchAlgo::kGradient) {
+      GradientSearchConfig gcfg = config.gradient;
+      gcfg.k = config.k;
+      gcfg.seed = config.seed ^ 0xa11ce5ULL;
+      gcfg.train = config.train;
+      GradientSearchResult search =
+          SearchGradient(pool, graph, split, gcfg);
+      result.layers = search.layers;
+      result.beta = search.beta;
+    } else {
+      AdaptiveSearchConfig acfg = config.adaptive;
+      acfg.k = config.k;
+      acfg.seed = config.seed ^ 0xada9dULL;
+      acfg.train = config.train;
+      AdaptiveSearchResult search =
+          SearchAdaptive(pool, graph, split, acfg);
+      result.layers = search.layers;
+      result.beta = search.beta;
+    }
+    result.search_seconds = watch.ElapsedSeconds();
+  }
+
+  // Stage 3: re-train from scratch and bag over train/val resplits
+  // (Section III-B: "construct bagging of models trained on the different
+  // splits of the dataset to reduce variance").
+  {
+    Stopwatch watch;
+    Rng resplit_rng(config.seed ^ 0xba99ULL);
+    std::vector<Matrix> bagged;
+    std::vector<double> val_accs;
+    for (int round = 0; round < std::max(1, config.bagging_splits); ++round) {
+      if (round > 0 && config.time_budget_seconds > 0.0 &&
+          budget_watch.ElapsedSeconds() > config.time_budget_seconds) {
+        break;  // shed remaining rounds to respect the budget
+      }
+      DataSplit round_split =
+          round == 0 ? split
+                     : ResplitTrainVal(split, config.val_fraction,
+                                       &resplit_rng);
+      HierarchicalResult trained = TrainHierarchicalEnsemble(
+          pool, result.layers, result.beta, graph, round_split, config.train,
+          config.seed + 7919 * static_cast<uint64_t>(round + 1));
+      bagged.push_back(std::move(trained.probs));
+      val_accs.push_back(trained.val_accuracy);
+      ++result.bagging_rounds_run;
+    }
+    result.probs = AverageProbs(bagged);
+    double total = 0.0;
+    for (double v : val_accs) total += v;
+    result.val_accuracy = total / static_cast<double>(val_accs.size());
+    result.retrain_seconds = watch.ElapsedSeconds();
+  }
+
+  if (!split.test.empty()) {
+    result.test_accuracy = Accuracy(result.probs, graph.labels(), split.test);
+  }
+  return result;
+}
+
+}  // namespace ahg

@@ -1,0 +1,63 @@
+// End-to-end AutoHEnsGNN driver (Fig. 1 of the paper): proxy evaluation
+// selects a pool of N promising architectures, a search algorithm fixes the
+// hierarchical ensemble's configuration (alpha layer choices, beta weights),
+// every sub-model is re-trained from scratch, and predictions are bagged
+// over independent train/validation resplits. The whole pipeline is
+// deterministic given the seed and honours an optional wall-clock budget
+// (the KDD Cup constraint) by shedding bagging rounds.
+#ifndef AUTOHENS_CORE_AUTOHENS_H_
+#define AUTOHENS_CORE_AUTOHENS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchical.h"
+#include "core/proxy_eval.h"
+#include "core/search_adaptive.h"
+#include "core/search_gradient.h"
+
+namespace ahg {
+
+enum class SearchAlgo { kGradient = 0, kAdaptive };
+
+struct AutoHEnsConfig {
+  int pool_size = 3;  // N
+  int k = 3;          // K sub-models per GSE
+  SearchAlgo algo = SearchAlgo::kGradient;
+  ProxyConfig proxy;
+  GradientSearchConfig gradient;
+  AdaptiveSearchConfig adaptive;
+  TrainConfig train;       // final re-training settings
+  int bagging_splits = 2;  // outer bagging over train/val resplits
+  double val_fraction = 0.2;
+  // 0 = unlimited. When a deadline is set, remaining bagging rounds are
+  // skipped once the budget is exceeded (at least one always runs).
+  double time_budget_seconds = 0.0;
+  uint64_t seed = 1;
+  // Provide to skip proxy evaluation and use this pool directly.
+  std::vector<CandidateSpec> fixed_pool;
+};
+
+struct AutoHEnsResult {
+  Matrix probs;
+  double val_accuracy = 0.0;  // mean over bagging rounds
+  double test_accuracy = 0.0;
+  std::vector<std::string> pool_names;
+  std::vector<std::vector<int>> layers;
+  std::vector<double> beta;
+  // Stage timings (Table VI columns).
+  double selection_seconds = 0.0;
+  double search_seconds = 0.0;
+  double retrain_seconds = 0.0;
+  int bagging_rounds_run = 0;
+};
+
+// Runs the full pipeline on `graph` with the given base split. The split's
+// test set is only used for final reporting, never for selection or search.
+AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
+                              const std::vector<CandidateSpec>& candidates,
+                              const AutoHEnsConfig& config);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_AUTOHENS_H_

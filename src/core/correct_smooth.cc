@@ -1,0 +1,96 @@
+#include "core/correct_smooth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ahg {
+namespace {
+
+// Z <- (1 - alpha) * Z0 + alpha * Ahat * Z, iterated.
+Matrix Propagate(const SparseMatrix& adj, const Matrix& z0, int iterations,
+                 double alpha) {
+  Matrix z = z0;
+  for (int it = 0; it < iterations; ++it) {
+    Matrix az = adj.Spmm(z);
+    for (int64_t i = 0; i < z.size(); ++i) {
+      z.data()[i] = (1.0 - alpha) * z0.data()[i] + alpha * az.data()[i];
+    }
+  }
+  return z;
+}
+
+Matrix OneHotLabels(const Graph& graph, const std::vector<int>& nodes) {
+  Matrix y(graph.num_nodes(), graph.num_classes());
+  for (int node : nodes) {
+    const int label = graph.labels()[node];
+    AHG_CHECK(label >= 0 && label < graph.num_classes());
+    y(node, label) = 1.0;
+  }
+  return y;
+}
+
+void RenormalizeRows(Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    double* row = m->Row(r);
+    double total = 0.0;
+    for (int c = 0; c < m->cols(); ++c) {
+      row[c] = std::max(row[c], 0.0);
+      total += row[c];
+    }
+    if (total > 1e-12) {
+      for (int c = 0; c < m->cols(); ++c) row[c] /= total;
+    } else {
+      for (int c = 0; c < m->cols(); ++c) {
+        row[c] = 1.0 / m->cols();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix CorrectAndSmooth(const Matrix& probs, const Graph& graph,
+                        const std::vector<int>& train_nodes,
+                        const CorrectSmoothConfig& config) {
+  AHG_CHECK_EQ(probs.rows(), graph.num_nodes());
+  AHG_CHECK_EQ(probs.cols(), graph.num_classes());
+  const SparseMatrix& adj = graph.Adjacency(AdjacencyKind::kSymNorm);
+
+  // Correct: propagate the training residual E = Y - P.
+  Matrix residual(graph.num_nodes(), graph.num_classes());
+  for (int node : train_nodes) {
+    const int label = graph.labels()[node];
+    for (int c = 0; c < graph.num_classes(); ++c) {
+      residual(node, c) = (c == label ? 1.0 : 0.0) - probs(node, c);
+    }
+  }
+  Matrix propagated = Propagate(adj, residual, config.correct_iterations,
+                                config.correct_alpha);
+  Matrix corrected = probs;
+  corrected.AxpyInPlace(config.correct_scale, propagated);
+  RenormalizeRows(&corrected);
+
+  // Smooth: replace training rows by the true labels, then propagate.
+  for (int node : train_nodes) {
+    const int label = graph.labels()[node];
+    for (int c = 0; c < graph.num_classes(); ++c) {
+      corrected(node, c) = c == label ? 1.0 : 0.0;
+    }
+  }
+  Matrix smoothed = Propagate(adj, corrected, config.smooth_iterations,
+                              config.smooth_alpha);
+  RenormalizeRows(&smoothed);
+  return smoothed;
+}
+
+Matrix LabelPropagation(const Graph& graph,
+                        const std::vector<int>& train_nodes, int iterations,
+                        double alpha) {
+  const SparseMatrix& adj = graph.Adjacency(AdjacencyKind::kSymNorm);
+  Matrix seeded = OneHotLabels(graph, train_nodes);
+  Matrix out = Propagate(adj, seeded, iterations, alpha);
+  RenormalizeRows(&out);
+  return out;
+}
+
+}  // namespace ahg

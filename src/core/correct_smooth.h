@@ -1,0 +1,42 @@
+// Correct & Smooth post-processing (Huang et al., 2021), the "C&S" trick of
+// the paper's Table V: after any base predictor produces class
+// probabilities, (1) propagate the residual error on the training nodes to
+// correct nearby predictions, then (2) smooth the corrected predictions
+// with label propagation seeded by the true training labels. Both phases
+// iterate Z <- (1 - w) Z0 + w * Ahat Z on the symmetric-normalized
+// adjacency; no gradients involved.
+#ifndef AUTOHENS_CORE_CORRECT_SMOOTH_H_
+#define AUTOHENS_CORE_CORRECT_SMOOTH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/split.h"
+
+namespace ahg {
+
+struct CorrectSmoothConfig {
+  int correct_iterations = 20;
+  double correct_alpha = 0.6;  // residual-propagation mixing weight
+  // Scales the propagated residual before adding it back ("autoscale" off).
+  double correct_scale = 1.0;
+  int smooth_iterations = 20;
+  double smooth_alpha = 0.6;
+};
+
+// Returns post-processed probabilities (rows re-normalized to the simplex).
+// `probs` is the base model's n x C output; training labels/nodes come from
+// `graph`/`split.train`.
+Matrix CorrectAndSmooth(const Matrix& probs, const Graph& graph,
+                        const std::vector<int>& train_nodes,
+                        const CorrectSmoothConfig& config);
+
+// Pure label propagation from the training labels (the "smooth" phase run
+// from a zero prior): a classic graph baseline in its own right.
+Matrix LabelPropagation(const Graph& graph,
+                        const std::vector<int>& train_nodes, int iterations,
+                        double alpha);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_CORRECT_SMOOTH_H_

@@ -1,0 +1,89 @@
+#include "core/gse.h"
+
+#include "autodiff/ops.h"
+
+namespace ahg {
+
+GraphSelfEnsemble::GraphSelfEnsemble(const ModelConfig& base, int k,
+                                     int in_dim, int num_classes,
+                                     uint64_t seed_base, bool trainable_alpha)
+    : base_(base), trainable_alpha_(trainable_alpha) {
+  AHG_CHECK_GT(k, 0);
+  base_.in_dim = in_dim;
+  for (int i = 0; i < k; ++i) {
+    Member member;
+    ModelConfig cfg = base_;
+    cfg.seed = seed_base + static_cast<uint64_t>(i);
+    member.model = BuildModel(cfg);
+    Rng head_rng(cfg.seed ^ 0x5ca1ab1eULL);
+    member.head = std::make_unique<Linear>(member.model->params(),
+                                           base_.hidden_dim, num_classes,
+                                           /*bias=*/true, &head_rng);
+    member.fixed_layer = base_.num_layers;
+    if (trainable_alpha_) {
+      // Registered in the model's own store would mingle w and alpha; alpha
+      // lives as a free Var exposed through AlphaParams() instead.
+      member.alpha_raw = MakeParam(Matrix(1, base_.num_layers));
+    }
+    members_.push_back(std::move(member));
+  }
+}
+
+Var GraphSelfEnsemble::Probs(const GnnContext& ctx, const Var& x) {
+  std::vector<Var> member_probs;
+  member_probs.reserve(members_.size());
+  for (Member& member : members_) {
+    std::vector<Var> layers = member.model->LayerOutputs(ctx, x);
+    AHG_CHECK_EQ(static_cast<int>(layers.size()), base_.num_layers);
+    Var mixed;
+    if (member.alpha_raw) {
+      mixed = SoftmaxWeightedSum(layers, member.alpha_raw);
+    } else {
+      mixed = layers[member.fixed_layer - 1];
+    }
+    member_probs.push_back(RowSoftmaxOp(member.head->Apply(mixed)));
+  }
+  return MeanOfVars(member_probs);
+}
+
+std::vector<Var> GraphSelfEnsemble::WeightParams() const {
+  std::vector<Var> params;
+  for (const Member& member : members_) {
+    const auto& model_params = member.model->params()->params();
+    params.insert(params.end(), model_params.begin(), model_params.end());
+  }
+  return params;
+}
+
+std::vector<Var> GraphSelfEnsemble::AlphaParams() const {
+  std::vector<Var> params;
+  for (const Member& member : members_) {
+    if (member.alpha_raw) params.push_back(member.alpha_raw);
+  }
+  return params;
+}
+
+std::vector<int> GraphSelfEnsemble::SelectedLayers() const {
+  std::vector<int> layers;
+  layers.reserve(members_.size());
+  for (const Member& member : members_) {
+    if (member.alpha_raw) {
+      layers.push_back(member.alpha_raw->value.ArgMaxRow(0) + 1);
+    } else {
+      layers.push_back(member.fixed_layer);
+    }
+  }
+  return layers;
+}
+
+void GraphSelfEnsemble::SetFixedLayers(const std::vector<int>& layers) {
+  AHG_CHECK_EQ(layers.size(), members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    AHG_CHECK(layers[i] >= 1 && layers[i] <= base_.num_layers);
+    members_[i].fixed_layer = layers[i];
+    members_[i].alpha_raw = nullptr;
+  }
+  trainable_alpha_ = false;
+}
+
+}  // namespace ahg

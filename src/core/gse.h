@@ -1,0 +1,65 @@
+// Graph self-ensemble (GSE), Section III-C1 of the paper: K copies of one
+// architecture with different weight-init seeds, each predicting through a
+// layer-aggregation vector alpha (Eqn 2), jointly averaged (Eqn 3).
+//
+// alpha has two modes:
+//  * trainable (softmax-relaxed, Eqn 7) — used by AutoHEnsGNN_Gradient's
+//    bi-level search, where alpha is an architecture parameter;
+//  * fixed one-hot — used after search and by AutoHEnsGNN_Adaptive.
+#ifndef AUTOHENS_CORE_GSE_H_
+#define AUTOHENS_CORE_GSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/linear.h"
+
+namespace ahg {
+
+class GraphSelfEnsemble {
+ public:
+  // Builds K members of the architecture described by `base` (whose
+  // num_layers acts as the maximum depth L). Member i is initialized from
+  // seed_base + i. When `trainable_alpha` is false every member starts at
+  // the deepest layer; use SetFixedLayers to override.
+  GraphSelfEnsemble(const ModelConfig& base, int k, int in_dim,
+                    int num_classes, uint64_t seed_base, bool trainable_alpha);
+
+  // Class probabilities (Eqn 3): mean over members of
+  // softmax((sum_l alpha_l H^(l)) W).
+  Var Probs(const GnnContext& ctx, const Var& x);
+
+  // Model + head weights (the "w" of the bi-level problem).
+  std::vector<Var> WeightParams() const;
+
+  // The alpha architecture parameters (empty when alpha is fixed).
+  std::vector<Var> AlphaParams() const;
+
+  // 1-based layer choice per member: argmax alpha when trainable, the fixed
+  // assignment otherwise.
+  std::vector<int> SelectedLayers() const;
+
+  // Pins each member to a one-hot layer (1-based; size K).
+  void SetFixedLayers(const std::vector<int>& layers);
+
+  int k() const { return static_cast<int>(members_.size()); }
+  int max_layers() const { return base_.num_layers; }
+  const ModelConfig& base_config() const { return base_; }
+
+ private:
+  struct Member {
+    std::unique_ptr<GnnModel> model;
+    std::unique_ptr<Linear> head;
+    Var alpha_raw;    // 1 x L; null when alpha is fixed
+    int fixed_layer;  // 1-based; used when alpha_raw is null
+  };
+
+  ModelConfig base_;
+  bool trainable_alpha_;
+  std::vector<Member> members_;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_GSE_H_

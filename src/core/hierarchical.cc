@@ -1,0 +1,51 @@
+#include "core/hierarchical.h"
+
+#include "ensemble/baselines.h"
+#include "metrics/metrics.h"
+#include "util/stopwatch.h"
+
+namespace ahg {
+
+HierarchicalResult TrainHierarchicalEnsemble(
+    const std::vector<CandidateSpec>& pool,
+    const std::vector<std::vector<int>>& layers,
+    const std::vector<double>& beta, const Graph& graph,
+    const DataSplit& split, const TrainConfig& train_config, uint64_t seed) {
+  AHG_CHECK(!pool.empty());
+  AHG_CHECK_EQ(pool.size(), layers.size());
+  AHG_CHECK_EQ(pool.size(), beta.size());
+  Stopwatch watch;
+  HierarchicalResult result;
+  for (size_t j = 0; j < pool.size(); ++j) {
+    std::vector<Matrix> member_probs;
+    for (size_t k = 0; k < layers[j].size(); ++k) {
+      ModelConfig mcfg = pool[j].config;
+      mcfg.num_layers = layers[j][k];
+      mcfg.seed = seed + static_cast<uint64_t>(j) * 131 + k;
+      TrainConfig tcfg = train_config;
+      tcfg.seed = mcfg.seed ^ 0x2badULL;
+      member_probs.push_back(
+          TrainSingleNodeModel(mcfg, graph, split, tcfg).probs);
+    }
+    result.per_model_probs.push_back(AverageProbs(member_probs));
+  }
+  result.probs = WeightedProbs(result.per_model_probs, beta);
+  if (!split.val.empty()) {
+    result.val_accuracy = Accuracy(result.probs, graph.labels(), split.val);
+  }
+  if (!split.test.empty()) {
+    result.test_accuracy = Accuracy(result.probs, graph.labels(), split.test);
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+HierarchicalResult TrainGse(const CandidateSpec& spec,
+                            const std::vector<int>& layers_per_member,
+                            const Graph& graph, const DataSplit& split,
+                            const TrainConfig& train_config, uint64_t seed) {
+  return TrainHierarchicalEnsemble({spec}, {layers_per_member}, {1.0}, graph,
+                                   split, train_config, seed);
+}
+
+}  // namespace ahg

@@ -1,0 +1,66 @@
+#include "core/nas_random.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ahg {
+namespace {
+
+// All families the mutation operator may jump to.
+constexpr ModelFamily kFamilies[] = {
+    ModelFamily::kGcn,    ModelFamily::kSageMean, ModelFamily::kSagePool,
+    ModelFamily::kGat,    ModelFamily::kSgc,      ModelFamily::kTagcn,
+    ModelFamily::kAppnp,  ModelFamily::kGin,      ModelFamily::kGcnii,
+    ModelFamily::kJkMax,  ModelFamily::kDnaHighway,
+    ModelFamily::kMixHop, ModelFamily::kDagnn,    ModelFamily::kCheb,
+    ModelFamily::kGatedGnn};
+
+template <typename T>
+T Choice(const std::vector<T>& options, Rng* rng) {
+  return options[rng->UniformInt(static_cast<int64_t>(options.size()))];
+}
+
+ModelConfig Mutate(const ModelConfig& base, Rng* rng) {
+  ModelConfig cfg = base;
+  // Jump family with probability 1/2, otherwise stay and perturb knobs.
+  if (rng->Bernoulli(0.5)) {
+    cfg.family = kFamilies[rng->UniformInt(std::size(kFamilies))];
+  }
+  cfg.num_layers = Choice<int>({1, 2, 3, 4, 6, 8}, rng);
+  cfg.hidden_dim = Choice<int>({16, 24, 32, 48}, rng);
+  cfg.dropout = Choice<double>({0.1, 0.25, 0.5}, rng);
+  cfg.heads = Choice<int>({1, 2, 4}, rng);
+  cfg.teleport = Choice<double>({0.05, 0.1, 0.2}, rng);
+  cfg.gcnii_alpha = Choice<double>({0.1, 0.2}, rng);
+  cfg.poly_order = Choice<int>({2, 3, 4}, rng);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<CandidateSpec> RandomArchitectureSearch(
+    const Graph& graph, const std::vector<CandidateSpec>& base,
+    const NasSearchConfig& config) {
+  AHG_CHECK(!base.empty());
+  AHG_CHECK_GT(config.num_samples, 0);
+  Rng rng(config.seed);
+  std::vector<CandidateSpec> samples;
+  samples.reserve(config.num_samples);
+  for (int i = 0; i < config.num_samples; ++i) {
+    const CandidateSpec& parent =
+        base[rng.UniformInt(static_cast<int64_t>(base.size()))];
+    CandidateSpec sample;
+    sample.name = StrFormat("NAS-%d", i);
+    sample.config = Mutate(parent.config, &rng);
+    samples.push_back(std::move(sample));
+  }
+
+  ProxyEvalResult ranking =
+      ProxyEvaluate(samples, graph, config.proxy, config.seed ^ 0xa5ULL);
+  std::vector<CandidateSpec> winners = SelectTopCandidates(
+      ranking, std::min(config.top_to_keep, config.num_samples));
+  return winners;
+}
+
+}  // namespace ahg

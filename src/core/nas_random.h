@@ -1,0 +1,34 @@
+// Random neural-architecture search over the zoo's configuration space —
+// the paper's stated future-work extension ("one can first apply NAS to
+// search novel architectures and then add them to the candidate pool for
+// the ensemble", Section II-B). Sampled mutations of the base candidates
+// are ranked by the same proxy evaluation as the fixed zoo, and the best
+// novel configurations are returned for pool injection.
+#ifndef AUTOHENS_CORE_NAS_RANDOM_H_
+#define AUTOHENS_CORE_NAS_RANDOM_H_
+
+#include <vector>
+
+#include "core/proxy_eval.h"
+#include "models/model_zoo.h"
+
+namespace ahg {
+
+struct NasSearchConfig {
+  int num_samples = 12;  // random mutations to evaluate
+  int top_to_keep = 2;   // winners returned for pool injection
+  ProxyConfig proxy;     // how samples are scored (proxy evaluation)
+  uint64_t seed = 1;
+};
+
+// Samples `num_samples` random mutations (family, depth, hidden width,
+// dropout, heads, teleport/alpha knobs) seeded from `base`, proxy-evaluates
+// them on `graph`, and returns the `top_to_keep` best as fresh
+// CandidateSpecs named "NAS-<k>".
+std::vector<CandidateSpec> RandomArchitectureSearch(
+    const Graph& graph, const std::vector<CandidateSpec>& base,
+    const NasSearchConfig& config);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_NAS_RANDOM_H_

@@ -1,0 +1,53 @@
+// Proxy evaluation for model selection (Section III-B): candidates are
+// ranked by training a *proxy model* (reduced hidden size, M_proxy) on a
+// *proxy dataset* (sampled subgraph, D_proxy) with *proxy bagging* (B_proxy
+// resplits). Accurate evaluation is the same procedure at ratio 1.0 / full
+// bagging, so Figure 3's Kendall-vs-speedup sweeps reuse this API.
+#ifndef AUTOHENS_CORE_PROXY_EVAL_H_
+#define AUTOHENS_CORE_PROXY_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "models/model_zoo.h"
+#include "tasks/train_node.h"
+
+namespace ahg {
+
+struct ProxyConfig {
+  double dataset_ratio = 0.3;  // D_proxy: subgraph node fraction
+  int bagging = 6;             // B_proxy: resplit count
+  double model_ratio = 0.5;    // M_proxy: hidden-size multiplier
+  double train_fraction = 0.6;
+  double val_fraction = 0.2;
+  bool grid_search = false;  // per-candidate lr/dropout search
+  int num_threads = 1;       // parallel candidate evaluation
+  TrainConfig train;
+};
+
+struct CandidateScore {
+  std::string name;
+  ModelConfig config;           // with the proxy hidden size applied
+  ModelConfig original_config;  // as supplied in the pool
+  double mean_val_accuracy = 0.0;
+  double stddev = 0.0;
+  double seconds = 0.0;  // summed training time for this candidate
+};
+
+struct ProxyEvalResult {
+  std::vector<CandidateScore> ranked;  // descending mean validation accuracy
+  double total_seconds = 0.0;
+};
+
+ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,
+                              const Graph& graph, const ProxyConfig& config,
+                              uint64_t seed);
+
+// Top-n specs from a ranking, with the original (non-proxy) hidden size.
+std::vector<CandidateSpec> SelectTopCandidates(const ProxyEvalResult& result,
+                                               int n);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_PROXY_EVAL_H_

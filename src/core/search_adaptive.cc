@@ -1,0 +1,83 @@
+#include "core/search_adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stopwatch.h"
+
+namespace ahg {
+
+std::vector<double> AdaptiveBeta(const std::vector<double>& val_accuracies,
+                                 double avg_degree, double epsilon,
+                                 double gamma, double lambda) {
+  const int n = static_cast<int>(val_accuracies.size());
+  AHG_CHECK_GT(n, 0);
+  // Min-max normalize accuracies so the softmax sees a [0, 1] spread
+  // ("normalized validation accuracy" in Eqn 8).
+  const double lo =
+      *std::min_element(val_accuracies.begin(), val_accuracies.end());
+  const double hi =
+      *std::max_element(val_accuracies.begin(), val_accuracies.end());
+  std::vector<double> acc(n, 0.0);
+  if (hi > lo) {
+    for (int i = 0; i < n; ++i) acc[i] = (val_accuracies[i] - lo) / (hi - lo);
+  }
+  const double density_term =
+      1.0 + std::min(epsilon, 1.0 + std::log(avg_degree + 1.0));
+  const double tau = 1.0 + std::pow(density_term, lambda) / gamma;
+  double max_z = -1e300;
+  for (int i = 0; i < n; ++i) max_z = std::max(max_z, acc[i] / tau);
+  std::vector<double> beta(n);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    beta[i] = std::exp(acc[i] / tau - max_z);
+    total += beta[i];
+  }
+  for (auto& b : beta) b /= total;
+  return beta;
+}
+
+AdaptiveSearchResult SearchAdaptive(const std::vector<CandidateSpec>& pool,
+                                    const Graph& graph,
+                                    const DataSplit& split,
+                                    const AdaptiveSearchConfig& config) {
+  AHG_CHECK(!pool.empty());
+  Stopwatch watch;
+  AdaptiveSearchResult result;
+  for (size_t j = 0; j < pool.size(); ++j) {
+    const ModelConfig& base = pool[j].config;
+    // Grid search over depth: probe-train the model at every depth
+    // 1..L and rank depths by validation accuracy.
+    std::vector<std::pair<double, int>> acc_by_depth;  // (val acc, depth)
+    for (int depth = 1; depth <= base.num_layers; ++depth) {
+      ModelConfig mcfg = base;
+      mcfg.num_layers = depth;
+      mcfg.seed = config.seed + static_cast<uint64_t>(j) * 97 + depth;
+      TrainConfig tcfg = config.train;
+      tcfg.seed = mcfg.seed ^ 0xbeefULL;
+      NodeTrainResult probe =
+          TrainSingleNodeModel(mcfg, graph, split, tcfg);
+      acc_by_depth.push_back({probe.val_accuracy, depth});
+    }
+    std::stable_sort(acc_by_depth.begin(), acc_by_depth.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    // Members take the top-ranked depths cyclically, so K > #depths still
+    // yields a diverse assignment.
+    std::vector<int> member_layers;
+    for (int i = 0; i < config.k; ++i) {
+      member_layers.push_back(
+          acc_by_depth[i % acc_by_depth.size()].second);
+    }
+    result.layers.push_back(std::move(member_layers));
+    result.val_accuracies.push_back(acc_by_depth.front().first);
+  }
+  result.beta = AdaptiveBeta(result.val_accuracies, graph.AverageDegree(),
+                             config.epsilon, config.gamma, config.lambda);
+  result.search_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ahg

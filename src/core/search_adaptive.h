@@ -1,0 +1,48 @@
+// AutoHEnsGNN_Adaptive (Section III-C3): each self-ensemble is optimized in
+// isolation (no co-training), layer depths come from a per-architecture grid
+// search over probe trainings, and the ensemble weights follow the adaptive
+// temperature rule of Eqn 8:
+//   beta = softmax(acc / tau),
+//   tau  = 1 + (1 + min(eps, 1 + log(#edges/#nodes + 1)))^lambda / gamma.
+#ifndef AUTOHENS_CORE_SEARCH_ADAPTIVE_H_
+#define AUTOHENS_CORE_SEARCH_ADAPTIVE_H_
+
+#include <vector>
+
+#include "graph/split.h"
+#include "models/model_zoo.h"
+#include "tasks/train_node.h"
+
+namespace ahg {
+
+struct AdaptiveSearchConfig {
+  int k = 3;
+  // Eqn 8 hyper-parameters (paper appendix A2 defaults).
+  double epsilon = 3.0;
+  double gamma = 8000.0;
+  double lambda = 5.0;
+  TrainConfig train;  // probe-training settings
+  uint64_t seed = 1;
+};
+
+struct AdaptiveSearchResult {
+  std::vector<std::vector<int>> layers;  // [pool][k], 1-based depths
+  std::vector<double> beta;
+  std::vector<double> val_accuracies;  // per pool model (best probe depth)
+  double search_seconds = 0.0;
+};
+
+AdaptiveSearchResult SearchAdaptive(const std::vector<CandidateSpec>& pool,
+                                    const Graph& graph,
+                                    const DataSplit& split,
+                                    const AdaptiveSearchConfig& config);
+
+// Exposed separately for the Fig. 7 hyper-parameter sweep: computes the
+// Eqn 8 weights from validation accuracies and the graph's average degree.
+std::vector<double> AdaptiveBeta(const std::vector<double>& val_accuracies,
+                                 double avg_degree, double epsilon,
+                                 double gamma, double lambda);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_SEARCH_ADAPTIVE_H_

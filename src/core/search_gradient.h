@@ -1,0 +1,41 @@
+// AutoHEnsGNN_Gradient (Section III-C2, Algorithm 1): jointly trains all
+// N x K sub-models while treating the layer vectors alpha and ensemble
+// weights beta as architecture parameters, alternating first-order updates
+// of the weights (train loss) and of the architecture (validation loss).
+#ifndef AUTOHENS_CORE_SEARCH_GRADIENT_H_
+#define AUTOHENS_CORE_SEARCH_GRADIENT_H_
+
+#include <vector>
+
+#include "graph/split.h"
+#include "models/model_zoo.h"
+#include "tasks/train_node.h"
+
+namespace ahg {
+
+struct GradientSearchConfig {
+  int k = 3;                 // sub-models per self-ensemble
+  int update_every = 1;      // M: epochs between architecture updates
+  double arch_learning_rate = 3e-4;
+  int max_epochs = 60;
+  int patience = 5;  // paper: early stop with patience 5 during search
+  TrainConfig train;  // model-weight optimizer settings
+  uint64_t seed = 1;
+};
+
+struct GradientSearchResult {
+  // layers[j][i]: chosen (1-based) depth of sub-model i of pool model j.
+  std::vector<std::vector<int>> layers;
+  std::vector<double> beta;  // softmax-normalized ensemble weights
+  double val_accuracy = 0.0;
+  double search_seconds = 0.0;
+};
+
+GradientSearchResult SearchGradient(const std::vector<CandidateSpec>& pool,
+                                    const Graph& graph,
+                                    const DataSplit& split,
+                                    const GradientSearchConfig& config);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_SEARCH_GRADIENT_H_

@@ -1,0 +1,200 @@
+#include "core/trained_ensemble.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "autodiff/ops.h"
+#include "ensemble/baselines.h"
+#include "io/model_store.h"
+#include "metrics/metrics.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "util/string_util.h"
+
+namespace ahg {
+namespace {
+
+// Trains one member and returns its best-validation parameter snapshot
+// (model weights followed by the classifier head, in store order).
+std::vector<Matrix> TrainMemberKeepWeights(const ModelConfig& config,
+                                           const Graph& graph,
+                                           const DataSplit& split,
+                                           const TrainConfig& train_config,
+                                           int num_classes) {
+  std::unique_ptr<GnnModel> model = BuildModel(config);
+  Rng head_rng(config.seed ^ 0x5ca1ab1eULL);
+  Linear head(model->params(), config.hidden_dim, num_classes, /*bias=*/true,
+              &head_rng);
+  AdamConfig adam_config;
+  adam_config.learning_rate = train_config.learning_rate;
+  adam_config.weight_decay = train_config.weight_decay;
+  Adam optimizer(model->params()->params(), adam_config);
+  Rng dropout_rng(train_config.seed);
+  Var features = MakeConstant(graph.features());
+
+  auto forward_logits = [&](bool training) {
+    GnnContext ctx{&graph, training, &dropout_rng};
+    return head.Apply(model->LayerOutputs(ctx, features).back());
+  };
+
+  std::vector<Matrix> best_snapshot = model->params()->Snapshot();
+  double best_val = -1.0;
+  int since_best = 0;
+  for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    model->params()->ZeroGrad();
+    Backward(MaskedCrossEntropy(forward_logits(true), graph.labels(),
+                                split.train));
+    optimizer.Step();
+    if (train_config.lr_decay_every > 0 &&
+        epoch % train_config.lr_decay_every == 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  train_config.lr_decay);
+    }
+    const Matrix probs = RowSoftmax(forward_logits(false)->value);
+    const double val_acc =
+        split.val.empty() ? 0.0
+                          : Accuracy(probs, graph.labels(), split.val);
+    if (epoch == 1 || val_acc > best_val) {
+      best_val = val_acc;
+      best_snapshot = model->params()->Snapshot();
+      since_best = 0;
+    } else if (++since_best >= train_config.patience) {
+      break;
+    }
+  }
+  return best_snapshot;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TrainedEnsemble TrainedEnsemble::Train(
+    const std::vector<CandidateSpec>& pool,
+    const std::vector<std::vector<int>>& layers,
+    const std::vector<double>& beta, const Graph& graph,
+    const DataSplit& split, const TrainConfig& train_config, uint64_t seed) {
+  AHG_CHECK_EQ(pool.size(), layers.size());
+  AHG_CHECK_EQ(pool.size(), beta.size());
+  TrainedEnsemble ensemble;
+  ensemble.beta_ = beta;
+  for (size_t j = 0; j < pool.size(); ++j) {
+    for (size_t k = 0; k < layers[j].size(); ++k) {
+      Member member;
+      member.config = pool[j].config;
+      member.config.in_dim = graph.feature_dim();
+      member.config.num_layers = layers[j][k];
+      member.config.seed = seed + static_cast<uint64_t>(j) * 131 + k;
+      member.pool_index = static_cast<int>(j);
+      member.num_classes = graph.num_classes();
+      TrainConfig tcfg = train_config;
+      tcfg.seed = member.config.seed ^ 0x2badULL;
+      member.params = TrainMemberKeepWeights(member.config, graph, split,
+                                             tcfg, graph.num_classes());
+      ensemble.members_.push_back(std::move(member));
+    }
+  }
+  return ensemble;
+}
+
+Matrix TrainedEnsemble::PredictProba(const Graph& graph) const {
+  AHG_CHECK(!members_.empty());
+  const int num_arch = static_cast<int>(beta_.size());
+  std::vector<std::vector<Matrix>> per_arch(num_arch);
+  for (const Member& member : members_) {
+    AHG_CHECK_EQ(member.config.in_dim, graph.feature_dim());
+    std::unique_ptr<GnnModel> model = BuildModel(member.config);
+    Rng head_rng(member.config.seed ^ 0x5ca1ab1eULL);
+    Linear head(model->params(), member.config.hidden_dim,
+                member.num_classes, /*bias=*/true, &head_rng);
+    model->params()->Restore(member.params);
+    GnnContext ctx{&graph, /*training=*/false, nullptr};
+    Var x = MakeConstant(graph.features());
+    Var logits = head.Apply(model->LayerOutputs(ctx, x).back());
+    per_arch[member.pool_index].push_back(RowSoftmax(logits->value));
+  }
+  std::vector<Matrix> arch_probs;
+  std::vector<double> weights;
+  for (int j = 0; j < num_arch; ++j) {
+    if (per_arch[j].empty()) continue;
+    arch_probs.push_back(AverageProbs(per_arch[j]));
+    weights.push_back(beta_[j]);
+  }
+  return WeightedProbs(arch_probs, weights);
+}
+
+Status TrainedEnsemble::Save(const std::string& dir) const {
+  Status s = EnsureDir(dir);
+  if (!s.ok()) return s;
+  std::ofstream manifest(dir + "/manifest.tsv");
+  if (!manifest.is_open()) {
+    return Status::IOError("cannot write manifest in " + dir);
+  }
+  manifest << "beta";
+  for (double b : beta_) manifest << "\t" << b;
+  manifest << "\n";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const std::string file = StrFormat("member_%zu.ahgm", i);
+    s = SaveModel(dir + "/" + file, members_[i].config, members_[i].params);
+    if (!s.ok()) return s;
+    manifest << file << "\t" << members_[i].pool_index << "\t"
+             << members_[i].num_classes << "\n";
+  }
+  return Status::OK();
+}
+
+StatusOr<TrainedEnsemble> TrainedEnsemble::Load(const std::string& dir) {
+  std::ifstream manifest(dir + "/manifest.tsv");
+  if (!manifest.is_open()) {
+    return Status::NotFound("no manifest in " + dir);
+  }
+  TrainedEnsemble ensemble;
+  std::string line;
+  if (!std::getline(manifest, line)) {
+    return Status::InvalidArgument("empty manifest");
+  }
+  {
+    const auto parts = StrSplit(line, '\t');
+    if (parts.empty() || parts[0] != "beta") {
+      return Status::InvalidArgument("manifest must start with beta row");
+    }
+    for (size_t i = 1; i < parts.size(); ++i) {
+      ensemble.beta_.push_back(std::stod(parts[i]));
+    }
+  }
+  while (std::getline(manifest, line)) {
+    if (StrTrim(line).empty()) continue;
+    const auto parts = StrSplit(line, '\t');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("malformed manifest row: " + line);
+    }
+    auto loaded = LoadModel(dir + "/" + parts[0]);
+    if (!loaded.ok()) return loaded.status();
+    Member member;
+    member.config = loaded.value().config;
+    member.params = std::move(loaded.value().params);
+    member.pool_index = std::stoi(parts[1]);
+    member.num_classes = std::stoi(parts[2]);
+    if (member.pool_index < 0 ||
+        member.pool_index >= static_cast<int>(ensemble.beta_.size())) {
+      return Status::InvalidArgument("pool index out of range in manifest");
+    }
+    ensemble.members_.push_back(std::move(member));
+  }
+  if (ensemble.members_.empty()) {
+    return Status::InvalidArgument("manifest lists no members");
+  }
+  return ensemble;
+}
+
+}  // namespace ahg

@@ -1,0 +1,62 @@
+// A persistent, inference-ready hierarchical ensemble. Unlike
+// TrainHierarchicalEnsemble (which only returns transductive predictions),
+// TrainedEnsemble keeps every member's weights, so the ensemble can
+//   * predict on a DIFFERENT graph than it was trained on (our zoo models
+//     are inductive: weights are independent of graph size), e.g. train on
+//     a proxy subgraph and predict on the full graph, and
+//   * be saved to / loaded from disk (one AHGM file per member plus a
+//     manifest), the deployment artifact a competition submission ships.
+#ifndef AUTOHENS_CORE_TRAINED_ENSEMBLE_H_
+#define AUTOHENS_CORE_TRAINED_ENSEMBLE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/split.h"
+#include "models/model_zoo.h"
+#include "tasks/train_node.h"
+#include "util/status.h"
+
+namespace ahg {
+
+class TrainedEnsemble {
+ public:
+  TrainedEnsemble() = default;
+
+  // Trains pool[j] members at depths layers[j][k] (same protocol as
+  // TrainHierarchicalEnsemble) but retains the best-validation weights of
+  // every member.
+  static TrainedEnsemble Train(const std::vector<CandidateSpec>& pool,
+                               const std::vector<std::vector<int>>& layers,
+                               const std::vector<double>& beta,
+                               const Graph& graph, const DataSplit& split,
+                               const TrainConfig& train_config,
+                               uint64_t seed);
+
+  // Full-graph class probabilities on an arbitrary graph with the same
+  // feature dimensionality and class count.
+  Matrix PredictProba(const Graph& graph) const;
+
+  // Serializes to `dir`: manifest.tsv (member file, architecture beta) plus
+  // one .ahgm per member.
+  Status Save(const std::string& dir) const;
+  static StatusOr<TrainedEnsemble> Load(const std::string& dir);
+
+  int num_members() const { return static_cast<int>(members_.size()); }
+  const std::vector<double>& beta() const { return beta_; }
+
+ private:
+  struct Member {
+    ModelConfig config;          // includes depth + seed
+    std::vector<Matrix> params;  // model weights + classifier head (last 2)
+    int pool_index = 0;          // which architecture this member belongs to
+    int num_classes = 0;
+  };
+
+  std::vector<Member> members_;
+  std::vector<double> beta_;  // one weight per architecture (pool index)
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_CORE_TRAINED_ENSEMBLE_H_

@@ -1,0 +1,93 @@
+#include "ensemble/baselines.h"
+
+#include "autodiff/ops.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+
+namespace ahg {
+
+Matrix AverageProbs(const std::vector<Matrix>& probs) {
+  AHG_CHECK(!probs.empty());
+  Matrix out = probs[0];
+  for (size_t i = 1; i < probs.size(); ++i) out.AddInPlace(probs[i]);
+  out.ScaleInPlace(1.0 / static_cast<double>(probs.size()));
+  return out;
+}
+
+Matrix WeightedProbs(const std::vector<Matrix>& probs,
+                     const std::vector<double>& weights) {
+  AHG_CHECK(!probs.empty());
+  AHG_CHECK_EQ(probs.size(), weights.size());
+  Matrix out(probs[0].rows(), probs[0].cols());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    out.AxpyInPlace(weights[i], probs[i]);
+  }
+  return out;
+}
+
+std::vector<double> LearnEnsembleWeights(const std::vector<Matrix>& probs,
+                                         const std::vector<int>& labels,
+                                         const std::vector<int>& val_nodes,
+                                         int epochs, double learning_rate) {
+  const int n = static_cast<int>(probs.size());
+  AHG_CHECK_GT(n, 0);
+  std::vector<Var> terms;
+  terms.reserve(n);
+  for (const Matrix& p : probs) terms.push_back(MakeConstant(p));
+  Var weights_raw = MakeParam(Matrix(1, n));
+
+  AdamConfig config;
+  config.learning_rate = learning_rate;
+  config.weight_decay = 0.0;
+  Adam optimizer({weights_raw}, config);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    weights_raw->ZeroGrad();
+    Var combined = SoftmaxWeightedSum(terms, weights_raw);
+    Var loss = MaskedNllFromProbs(combined, labels, val_nodes);
+    Backward(loss);
+    optimizer.Step();
+  }
+  const Matrix normalized = RowSoftmax(weights_raw->value);
+  std::vector<double> out(n);
+  for (int i = 0; i < n; ++i) out[i] = normalized(0, i);
+  return out;
+}
+
+std::vector<int> GreedyEnsembleSelect(const std::vector<Matrix>& probs,
+                                      const std::vector<int>& labels,
+                                      const std::vector<int>& val_nodes) {
+  const int n = static_cast<int>(probs.size());
+  AHG_CHECK_GT(n, 0);
+  std::vector<bool> used(n, false);
+  std::vector<int> selected;
+  std::vector<Matrix> members;
+  double best_acc = -1.0;
+  for (;;) {
+    int best_idx = -1;
+    double best_candidate_acc = best_acc;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      members.push_back(probs[i]);
+      const double acc = Accuracy(AverageProbs(members), labels, val_nodes);
+      members.pop_back();
+      if (acc > best_candidate_acc) {
+        best_candidate_acc = acc;
+        best_idx = i;
+      }
+    }
+    if (best_idx < 0) break;
+    used[best_idx] = true;
+    selected.push_back(best_idx);
+    members.push_back(probs[best_idx]);
+    best_acc = best_candidate_acc;
+  }
+  if (selected.empty()) selected.push_back(0);  // degenerate: keep one model
+  return selected;
+}
+
+std::vector<int> RandomEnsembleSelect(int num_models, int count, Rng* rng) {
+  return rng->SampleWithoutReplacement(num_models,
+                                       std::min(num_models, count));
+}
+
+}  // namespace ahg

@@ -1,0 +1,47 @@
+// The ensemble baselines the paper compares against (Tables II/III/V):
+//   D-ensemble — plain average of model probabilities;
+//   L-ensemble — softmax ensemble weights learned on the validation set;
+//   Goyal et al. — greedy forward selection of models into an average;
+//   Random ensemble — average of a random subset (ablation Table IV).
+// All operate on fixed per-model full-graph probability matrices, so they
+// compose with any trainer.
+#ifndef AUTOHENS_ENSEMBLE_BASELINES_H_
+#define AUTOHENS_ENSEMBLE_BASELINES_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace ahg {
+
+// Mean of the given probability matrices (all n x C).
+Matrix AverageProbs(const std::vector<Matrix>& probs);
+
+// sum_j weights[j] * probs[j]; weights need not be normalized.
+Matrix WeightedProbs(const std::vector<Matrix>& probs,
+                     const std::vector<double>& weights);
+
+// Learns softmax-normalized ensemble weights by minimizing the NLL of the
+// combined probabilities on `val_nodes` (gradient descent over fixed model
+// outputs). Returns the normalized weights.
+std::vector<double> LearnEnsembleWeights(const std::vector<Matrix>& probs,
+                                         const std::vector<int>& labels,
+                                         const std::vector<int>& val_nodes,
+                                         int epochs, double learning_rate);
+
+// Goyal et al.-style greedy forward selection: starts from the model with
+// the best validation accuracy and keeps adding whichever model improves the
+// averaged ensemble most, stopping when nothing helps. Returns the chosen
+// model indices (a model may be selected once).
+std::vector<int> GreedyEnsembleSelect(const std::vector<Matrix>& probs,
+                                      const std::vector<int>& labels,
+                                      const std::vector<int>& val_nodes);
+
+// Uniformly samples `count` distinct model indices (random-ensemble
+// ablation baseline).
+std::vector<int> RandomEnsembleSelect(int num_models, int count, Rng* rng);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_ENSEMBLE_BASELINES_H_

@@ -1,0 +1,180 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ahg {
+
+Graph Graph::Create(int num_nodes, std::vector<Edge> edges, bool directed,
+                    Matrix features, std::vector<int> labels,
+                    int num_classes) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.directed_ = directed;
+  g.num_classes_ = num_classes;
+  g.edges_ = std::move(edges);
+  g.features_ = std::move(features);
+  if (labels.empty()) labels.assign(num_nodes, -1);
+  AHG_CHECK_EQ(static_cast<int>(labels.size()), num_nodes);
+  g.labels_ = std::move(labels);
+  for (const Edge& e : g.edges_) {
+    AHG_CHECK(e.src >= 0 && e.src < num_nodes);
+    AHG_CHECK(e.dst >= 0 && e.dst < num_nodes);
+  }
+  g.BuildAdjacencyCaches();
+  return g;
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(num_edges()) / num_nodes_;
+}
+
+namespace {
+
+// Directed edge set in in-adjacency orientation (row = dst), duplicated for
+// undirected graphs.
+std::vector<CooEntry> InOrientedEntries(const std::vector<Edge>& edges,
+                                        bool directed, bool drop_self_loops) {
+  std::vector<CooEntry> entries;
+  entries.reserve(directed ? edges.size() : 2 * edges.size());
+  for (const Edge& e : edges) {
+    if (drop_self_loops && e.src == e.dst) continue;
+    entries.push_back({e.dst, e.src, e.weight});
+    if (!directed && e.src != e.dst) {
+      entries.push_back({e.src, e.dst, e.weight});
+    }
+  }
+  return entries;
+}
+
+void AppendSelfLoops(int n, std::vector<CooEntry>* entries) {
+  for (int i = 0; i < n; ++i) entries->push_back({i, i, 1.0});
+}
+
+// Degree vector of a COO edge set: weighted sum per row (in-degree).
+std::vector<double> RowDegrees(int n, const std::vector<CooEntry>& entries) {
+  std::vector<double> deg(n, 0.0);
+  for (const auto& e : entries) deg[e.row] += e.value;
+  return deg;
+}
+
+}  // namespace
+
+void Graph::BuildAdjacencyCaches() {
+  // Symmetrized base entries (both orientations regardless of directedness)
+  // for the spectral-style normalizations; GCN-family models conventionally
+  // symmetrize directed graphs.
+  std::vector<CooEntry> sym_base;
+  sym_base.reserve(2 * edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) continue;
+    sym_base.push_back({e.dst, e.src, e.weight});
+    sym_base.push_back({e.src, e.dst, e.weight});
+  }
+
+  {  // kSymNorm: D^-1/2 (A_sym + I) D^-1/2.
+    std::vector<CooEntry> entries = sym_base;
+    AppendSelfLoops(num_nodes_, &entries);
+    std::vector<double> deg = RowDegrees(num_nodes_, entries);
+    for (auto& e : entries) {
+      const double d = std::sqrt(deg[e.row] * deg[e.col]);
+      e.value = d > 0.0 ? e.value / d : 0.0;
+    }
+    adjacency_[static_cast<int>(AdjacencyKind::kSymNorm)] =
+        SparseMatrix::FromCoo(num_nodes_, num_nodes_, std::move(entries));
+  }
+
+  {  // kSymNormNoSelfLoops: D^-1/2 A_sym D^-1/2.
+    std::vector<CooEntry> entries = sym_base;
+    std::vector<double> deg = RowDegrees(num_nodes_, entries);
+    for (auto& e : entries) {
+      const double d = std::sqrt(std::max(deg[e.row], 1.0) *
+                                 std::max(deg[e.col], 1.0));
+      e.value = e.value / d;
+    }
+    adjacency_[static_cast<int>(AdjacencyKind::kSymNormNoSelfLoops)] =
+        SparseMatrix::FromCoo(num_nodes_, num_nodes_, std::move(entries));
+  }
+
+  {  // kRowNorm: D^-1 (A + I), direction-respecting.
+    std::vector<CooEntry> entries = InOrientedEntries(edges_, directed_,
+                                                      /*drop_self_loops=*/true);
+    AppendSelfLoops(num_nodes_, &entries);
+    std::vector<double> deg = RowDegrees(num_nodes_, entries);
+    for (auto& e : entries) {
+      e.value = deg[e.row] > 0.0 ? e.value / deg[e.row] : 0.0;
+    }
+    adjacency_[static_cast<int>(AdjacencyKind::kRowNorm)] =
+        SparseMatrix::FromCoo(num_nodes_, num_nodes_, std::move(entries));
+  }
+
+  {  // kRawSelfLoops: direction-respecting raw weights plus self loops.
+    std::vector<CooEntry> entries = InOrientedEntries(edges_, directed_,
+                                                      /*drop_self_loops=*/true);
+    AppendSelfLoops(num_nodes_, &entries);
+    adjacency_[static_cast<int>(AdjacencyKind::kRawSelfLoops)] =
+        SparseMatrix::FromCoo(num_nodes_, num_nodes_, std::move(entries));
+  }
+}
+
+void Graph::SynthesizeDegreeFeatures(int num_buckets) {
+  AHG_CHECK_GT(num_buckets, 0);
+  const SparseMatrix& adj =
+      Adjacency(AdjacencyKind::kRawSelfLoops);
+  features_ = Matrix(num_nodes_, num_buckets + 1);
+  double max_log_deg = 1.0;
+  std::vector<double> log_deg(num_nodes_, 0.0);
+  for (int i = 0; i < num_nodes_; ++i) {
+    log_deg[i] = std::log1p(static_cast<double>(adj.RowNnz(i)));
+    max_log_deg = std::max(max_log_deg, log_deg[i]);
+  }
+  for (int i = 0; i < num_nodes_; ++i) {
+    const int bucket = std::min(
+        num_buckets - 1,
+        static_cast<int>(log_deg[i] / max_log_deg * num_buckets));
+    features_(i, bucket) = 1.0;
+    features_(i, num_buckets) = log_deg[i] / max_log_deg;
+  }
+}
+
+void Graph::SynthesizeStructuralFeatures(int random_dims, uint64_t seed) {
+  AHG_CHECK_GT(random_dims, 0);
+  Rng rng(seed);
+  features_ = Matrix(num_nodes_, random_dims + 1);
+  const SparseMatrix& adj = Adjacency(AdjacencyKind::kRawSelfLoops);
+  double max_log_deg = 1.0;
+  std::vector<double> log_deg(num_nodes_, 0.0);
+  for (int i = 0; i < num_nodes_; ++i) {
+    log_deg[i] = std::log1p(static_cast<double>(adj.RowNnz(i)));
+    max_log_deg = std::max(max_log_deg, log_deg[i]);
+  }
+  for (int i = 0; i < num_nodes_; ++i) {
+    double* row = features_.Row(i);
+    for (int c = 0; c < random_dims; ++c) row[c] = rng.Normal();
+    row[random_dims] = log_deg[i] / max_log_deg;
+  }
+}
+
+void Graph::RowNormalizeFeatures() {
+  for (int r = 0; r < features_.rows(); ++r) {
+    double* row = features_.Row(r);
+    double total = 0.0;
+    for (int c = 0; c < features_.cols(); ++c) total += std::abs(row[c]);
+    if (total > 0.0) {
+      for (int c = 0; c < features_.cols(); ++c) row[c] /= total;
+    }
+  }
+}
+
+std::vector<int> Graph::LabeledNodes() const {
+  std::vector<int> nodes;
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (labels_[i] >= 0) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+}  // namespace ahg

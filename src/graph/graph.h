@@ -1,0 +1,99 @@
+// The central graph container used by every task: node features, labels,
+// edge list, and cached adjacency matrices under the normalizations the
+// model zoo needs.
+//
+// Adjacency convention: "in-adjacency" — row r of a cached SparseMatrix
+// lists the source nodes j with an edge j -> r, so Spmm(A, H) aggregates
+// messages *into* each node. Undirected graphs store both directions.
+#ifndef AUTOHENS_GRAPH_GRAPH_H_
+#define AUTOHENS_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/sparse_matrix.h"
+
+namespace ahg {
+
+struct Edge {
+  int src = 0;
+  int dst = 0;
+  double weight = 1.0;
+};
+
+// Which cached adjacency a model requests.
+enum class AdjacencyKind {
+  // D^-1/2 (A + I) D^-1/2 on the symmetrized graph (GCN and friends).
+  kSymNorm = 0,
+  // Row-normalized D^-1 (A + I): mean aggregation (GraphSAGE).
+  kRowNorm,
+  // Raw weights with self loops (GAT attention support, GIN sum, max-pool).
+  kRawSelfLoops,
+  // D^-1/2 A D^-1/2 without self loops (Chebyshev scaled Laplacian).
+  kSymNormNoSelfLoops,
+};
+inline constexpr int kNumAdjacencyKinds = 4;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds the graph and eagerly materializes all adjacency caches so that
+  // later (possibly multi-threaded) training never mutates shared state.
+  // `features` may be empty; call SynthesizeDegreeFeatures afterwards for
+  // featureless datasets (paper dataset E).
+  static Graph Create(int num_nodes, std::vector<Edge> edges, bool directed,
+                      Matrix features, std::vector<int> labels,
+                      int num_classes);
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  bool directed() const { return directed_; }
+  int num_classes() const { return num_classes_; }
+  int feature_dim() const { return features_.cols(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Matrix& features() const { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  // Average (out-)degree #edges / #nodes as used by the adaptive temperature
+  // of Eqn 8.
+  double AverageDegree() const;
+
+  const SparseMatrix& Adjacency(AdjacencyKind kind) const {
+    return adjacency_[static_cast<int>(kind)];
+  }
+
+  // Replaces features with one-hot log-degree buckets plus a normalized
+  // degree column (used for featureless graphs).
+  void SynthesizeDegreeFeatures(int num_buckets);
+
+  // Replaces features with `random_dims` i.i.d. Gaussian columns plus a
+  // normalized log-degree column. Random features carry no class signal on
+  // their own, but message passing smooths them within communities, so deep
+  // propagation can recover structure-only labels (the standard treatment
+  // of featureless graphs like the paper's dataset E).
+  void SynthesizeStructuralFeatures(int random_dims, uint64_t seed);
+
+  // L1-normalizes every feature row (standard citation-network preprocessing).
+  void RowNormalizeFeatures();
+
+  // Indices of nodes with a known label (label >= 0).
+  std::vector<int> LabeledNodes() const;
+
+ private:
+  void BuildAdjacencyCaches();
+
+  int num_nodes_ = 0;
+  bool directed_ = false;
+  int num_classes_ = 0;
+  std::vector<Edge> edges_;
+  Matrix features_;
+  std::vector<int> labels_;
+  SparseMatrix adjacency_[kNumAdjacencyKinds];
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_GRAPH_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ahg {
+
+Subgraph SampleInducedSubgraph(const Graph& graph, double ratio, Rng* rng) {
+  AHG_CHECK(ratio > 0.0 && ratio <= 1.0);
+  const int n = graph.num_nodes();
+  const int k = std::min(
+      n, std::max(1, static_cast<int>(std::ceil(ratio * n))));
+  Subgraph sub;
+  sub.node_map = rng->SampleWithoutReplacement(n, k);
+  std::sort(sub.node_map.begin(), sub.node_map.end());
+  std::vector<int> inverse(n, -1);
+  for (int i = 0; i < k; ++i) inverse[sub.node_map[i]] = i;
+
+  std::vector<Edge> edges;
+  for (const Edge& e : graph.edges()) {
+    const int s = inverse[e.src];
+    const int d = inverse[e.dst];
+    if (s >= 0 && d >= 0) edges.push_back({s, d, e.weight});
+  }
+  Matrix features;
+  if (!graph.features().empty()) {
+    features = Matrix(k, graph.features().cols());
+    for (int i = 0; i < k; ++i) {
+      const double* src = graph.features().Row(sub.node_map[i]);
+      std::copy(src, src + features.cols(), features.Row(i));
+    }
+  }
+  std::vector<int> labels(k);
+  for (int i = 0; i < k; ++i) labels[i] = graph.labels()[sub.node_map[i]];
+  sub.graph = Graph::Create(k, std::move(edges), graph.directed(),
+                            std::move(features), std::move(labels),
+                            graph.num_classes());
+  return sub;
+}
+
+DataSplit ProjectSplit(const Subgraph& sub, const DataSplit& split,
+                       int original_num_nodes) {
+  std::vector<int> inverse(original_num_nodes, -1);
+  for (size_t i = 0; i < sub.node_map.size(); ++i) {
+    inverse[sub.node_map[i]] = static_cast<int>(i);
+  }
+  auto project = [&](const std::vector<int>& nodes) {
+    std::vector<int> out;
+    for (int node : nodes) {
+      if (inverse[node] >= 0) out.push_back(inverse[node]);
+    }
+    return out;
+  };
+  DataSplit projected;
+  projected.train = project(split.train);
+  projected.val = project(split.val);
+  projected.test = project(split.test);
+  return projected;
+}
+
+}  // namespace ahg

@@ -1,0 +1,127 @@
+#include "graph/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ahg {
+
+DataSplit RandomSplit(const Graph& graph, double train_fraction,
+                      double val_fraction, Rng* rng) {
+  AHG_CHECK(train_fraction > 0.0 && val_fraction >= 0.0 &&
+            train_fraction + val_fraction <= 1.0);
+  std::vector<int> nodes = graph.LabeledNodes();
+  rng->Shuffle(&nodes);
+  const int n = static_cast<int>(nodes.size());
+  const int n_train = std::max(1, static_cast<int>(n * train_fraction));
+  const int n_val = static_cast<int>(n * val_fraction);
+  DataSplit split;
+  split.train.assign(nodes.begin(), nodes.begin() + n_train);
+  split.val.assign(nodes.begin() + n_train,
+                   nodes.begin() + std::min(n, n_train + n_val));
+  split.test.assign(nodes.begin() + std::min(n, n_train + n_val), nodes.end());
+  return split;
+}
+
+DataSplit ResplitTrainVal(const DataSplit& base, double val_fraction,
+                          Rng* rng) {
+  std::vector<int> pool = base.train;
+  pool.insert(pool.end(), base.val.begin(), base.val.end());
+  rng->Shuffle(&pool);
+  const int n = static_cast<int>(pool.size());
+  const int n_val = std::max(1, static_cast<int>(n * val_fraction));
+  DataSplit split;
+  split.val.assign(pool.begin(), pool.begin() + n_val);
+  split.train.assign(pool.begin() + n_val, pool.end());
+  split.test = base.test;
+  return split;
+}
+
+DataSplit PerClassSplit(const Graph& graph, int per_class, int val_count,
+                        int test_count, Rng* rng) {
+  std::vector<int> nodes = graph.LabeledNodes();
+  rng->Shuffle(&nodes);
+  std::vector<int> taken_per_class(graph.num_classes(), 0);
+  DataSplit split;
+  std::vector<int> rest;
+  for (int node : nodes) {
+    const int y = graph.labels()[node];
+    if (taken_per_class[y] < per_class) {
+      split.train.push_back(node);
+      ++taken_per_class[y];
+    } else {
+      rest.push_back(node);
+    }
+  }
+  const int n_val = std::min<int>(val_count, static_cast<int>(rest.size()));
+  split.val.assign(rest.begin(), rest.begin() + n_val);
+  const int n_test =
+      std::min<int>(test_count, static_cast<int>(rest.size()) - n_val);
+  split.test.assign(rest.begin() + n_val, rest.begin() + n_val + n_test);
+  return split;
+}
+
+namespace {
+
+int64_t PairKey(int u, int v) {
+  if (u > v) std::swap(u, v);
+  return static_cast<int64_t>(u) * 1000003LL + v;
+}
+
+}  // namespace
+
+LinkSplit MakeLinkSplit(const Graph& graph, double val_fraction,
+                        double test_fraction, Rng* rng) {
+  // Deduplicate undirected edges.
+  std::unordered_set<int64_t> seen;
+  std::vector<NodePair> pairs;
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) continue;
+    if (seen.insert(PairKey(e.src, e.dst)).second) {
+      pairs.push_back({e.src, e.dst});
+    }
+  }
+  rng->Shuffle(&pairs);
+  const int m = static_cast<int>(pairs.size());
+  const int n_val = static_cast<int>(m * val_fraction);
+  const int n_test = static_cast<int>(m * test_fraction);
+  const int n_train = m - n_val - n_test;
+  AHG_CHECK_GT(n_train, 0);
+
+  LinkSplit split;
+  split.train_pos.assign(pairs.begin(), pairs.begin() + n_train);
+  split.val_pos.assign(pairs.begin() + n_train, pairs.begin() + n_train + n_val);
+  split.test_pos.assign(pairs.begin() + n_train + n_val, pairs.end());
+
+  // Negative pairs: uniform non-edges, disjoint from all positives.
+  auto sample_negatives = [&](int count) {
+    std::vector<NodePair> negs;
+    while (static_cast<int>(negs.size()) < count) {
+      const int u = static_cast<int>(rng->UniformInt(graph.num_nodes()));
+      const int v = static_cast<int>(rng->UniformInt(graph.num_nodes()));
+      if (u == v) continue;
+      if (!seen.insert(PairKey(u, v)).second) continue;  // edge or used neg
+      negs.push_back({u, v});
+    }
+    return negs;
+  };
+  split.train_neg = sample_negatives(n_train);
+  split.val_neg = sample_negatives(n_val);
+  split.test_neg = sample_negatives(n_test);
+
+  // Rebuild the training graph without held-out positive edges.
+  std::unordered_set<int64_t> held_out;
+  for (const auto& p : split.val_pos) held_out.insert(PairKey(p.u, p.v));
+  for (const auto& p : split.test_pos) held_out.insert(PairKey(p.u, p.v));
+  std::vector<Edge> train_edges;
+  for (const Edge& e : graph.edges()) {
+    if (e.src != e.dst && held_out.count(PairKey(e.src, e.dst)) > 0) continue;
+    train_edges.push_back(e);
+  }
+  split.train_graph =
+      Graph::Create(graph.num_nodes(), std::move(train_edges),
+                    graph.directed(), graph.features(), graph.labels(),
+                    graph.num_classes());
+  return split;
+}
+
+}  // namespace ahg

@@ -1,0 +1,55 @@
+// Train/validation/test split utilities for node classification and the
+// edge split + negative sampling used by link prediction.
+#ifndef AUTOHENS_GRAPH_SPLIT_H_
+#define AUTOHENS_GRAPH_SPLIT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ahg {
+
+struct DataSplit {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+// Random split of the labeled nodes by fractions (test gets the remainder).
+// This is the protocol for the KDD Cup style datasets, where the paper
+// repeatedly resplits for bagging.
+DataSplit RandomSplit(const Graph& graph, double train_fraction,
+                      double val_fraction, Rng* rng);
+
+// Resplits only train/val, keeping `test` fixed (bagging over splits keeps
+// the held-out evaluation set stable).
+DataSplit ResplitTrainVal(const DataSplit& base, double val_fraction,
+                          Rng* rng);
+
+// Planetoid-style fixed protocol: `per_class` training nodes per class, then
+// `val_count` validation and `test_count` test nodes from the remainder.
+DataSplit PerClassSplit(const Graph& graph, int per_class, int val_count,
+                        int test_count, Rng* rng);
+
+// An undirected node pair for link prediction.
+struct NodePair {
+  int u = 0;
+  int v = 0;
+};
+
+// Link-prediction split: `train_graph` has the val/test positive edges
+// removed; positives/negatives are balanced per partition.
+struct LinkSplit {
+  Graph train_graph;
+  std::vector<NodePair> train_pos, train_neg;
+  std::vector<NodePair> val_pos, val_neg;
+  std::vector<NodePair> test_pos, test_neg;
+};
+
+LinkSplit MakeLinkSplit(const Graph& graph, double val_fraction,
+                        double test_fraction, Rng* rng);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_GRAPH_SPLIT_H_

@@ -1,0 +1,94 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace ahg {
+
+GraphStatistics ComputeStatistics(const Graph& graph) {
+  GraphStatistics stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  const int n = graph.num_nodes();
+  if (n == 0) return stats;
+
+  // Undirected simple view of the edge set.
+  std::vector<std::vector<int>> neighbors(n);
+  std::unordered_set<int64_t> seen;
+  int64_t homophilous = 0, labeled_edges = 0;
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) continue;
+    const int a = std::min(e.src, e.dst);
+    const int b = std::max(e.src, e.dst);
+    if (!seen.insert(static_cast<int64_t>(a) * n + b).second) continue;
+    neighbors[a].push_back(b);
+    neighbors[b].push_back(a);
+    if (graph.labels()[a] >= 0 && graph.labels()[b] >= 0) {
+      ++labeled_edges;
+      homophilous += graph.labels()[a] == graph.labels()[b];
+    }
+  }
+  stats.edge_homophily =
+      labeled_edges > 0
+          ? static_cast<double>(homophilous) / static_cast<double>(labeled_edges)
+          : 0.0;
+
+  int64_t degree_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    std::sort(neighbors[i].begin(), neighbors[i].end());
+    const int deg = static_cast<int>(neighbors[i].size());
+    degree_sum += deg;
+    stats.max_degree = std::max(stats.max_degree, deg);
+  }
+  stats.avg_degree = static_cast<double>(degree_sum) / (2.0 * n);
+
+  // Local clustering via sorted-adjacency intersection.
+  double clustering_sum = 0.0;
+  int clustering_count = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& nbrs = neighbors[i];
+    const int deg = static_cast<int>(nbrs.size());
+    if (deg < 2) continue;
+    int64_t closed = 0;
+    for (int a = 0; a < deg; ++a) {
+      for (int b = a + 1; b < deg; ++b) {
+        closed += std::binary_search(neighbors[nbrs[a]].begin(),
+                                     neighbors[nbrs[a]].end(), nbrs[b]);
+      }
+    }
+    clustering_sum += 2.0 * static_cast<double>(closed) /
+                      (static_cast<double>(deg) * (deg - 1));
+    ++clustering_count;
+  }
+  stats.avg_clustering =
+      clustering_count > 0 ? clustering_sum / clustering_count : 0.0;
+
+  // Connected components by iterative DFS.
+  std::vector<int> component(n, -1);
+  std::vector<int> stack;
+  int components = 0;
+  for (int start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    int size = 0;
+    stack.push_back(start);
+    component[start] = components;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      ++size;
+      for (int next : neighbors[node]) {
+        if (component[next] < 0) {
+          component[next] = components;
+          stack.push_back(next);
+        }
+      }
+    }
+    stats.largest_component = std::max(stats.largest_component, size);
+    ++components;
+  }
+  stats.connected_components = components;
+  return stats;
+}
+
+}  // namespace ahg

@@ -1,0 +1,31 @@
+// Descriptive graph statistics: degree distribution, edge homophily,
+// average local clustering, connected components. Used by the dataset
+// bench (Table I) and for validating the synthetic generators.
+#ifndef AUTOHENS_GRAPH_STATISTICS_H_
+#define AUTOHENS_GRAPH_STATISTICS_H_
+
+#include "graph/graph.h"
+
+namespace ahg {
+
+struct GraphStatistics {
+  int num_nodes = 0;
+  int64_t num_edges = 0;
+  double avg_degree = 0.0;  // undirected-view mean degree
+  int max_degree = 0;
+  // Fraction of edges whose endpoints share a label (labeled endpoints only).
+  double edge_homophily = 0.0;
+  // Mean local clustering coefficient over nodes with degree >= 2.
+  double avg_clustering = 0.0;
+  int connected_components = 0;
+  // Size of the largest connected component.
+  int largest_component = 0;
+};
+
+// Computes all statistics in one pass (clustering is O(sum deg^2); fine at
+// this library's graph sizes).
+GraphStatistics ComputeStatistics(const Graph& graph);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_GRAPH_STATISTICS_H_

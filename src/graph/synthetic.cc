@@ -1,0 +1,279 @@
+#include "graph/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+// Draws an index from cumulative weights via binary search.
+int SampleFromCdf(const std::vector<double>& cdf, Rng* rng) {
+  const double u = rng->Uniform() * cdf.back();
+  return static_cast<int>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+std::vector<double> BuildCdf(const std::vector<double>& weights) {
+  std::vector<double> cdf(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    cdf[i] = total;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+Graph GenerateSbmGraph(const SyntheticConfig& config) {
+  AHG_CHECK_GT(config.num_nodes, config.num_classes);
+  Rng rng(config.seed);
+  const int n = config.num_nodes;
+  const int c = config.num_classes;
+  const int communities = std::max(1, config.communities_per_class);
+
+  // Class and community assignment (round-robin then shuffled => balanced).
+  std::vector<int> labels(n);
+  std::vector<int> community(n);
+  for (int i = 0; i < n; ++i) labels[i] = i % c;
+  rng.Shuffle(&labels);
+  for (int i = 0; i < n; ++i) {
+    community[i] = labels[i] * communities +
+                   static_cast<int>(rng.UniformInt(communities));
+  }
+
+  // Node propensity for degree skew.
+  std::vector<double> propensity(n, 1.0);
+  if (config.power_law > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      propensity[i] = std::pow(rng.Uniform(1e-3, 1.0), -config.power_law);
+    }
+  }
+
+  // Membership lists and per-group sampling CDFs.
+  std::vector<std::vector<int>> class_members(c);
+  std::vector<std::vector<int>> community_members(
+      static_cast<size_t>(c) * communities);
+  for (int i = 0; i < n; ++i) {
+    class_members[labels[i]].push_back(i);
+    community_members[community[i]].push_back(i);
+  }
+  auto group_cdf = [&](const std::vector<int>& members) {
+    std::vector<double> weights(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      weights[i] = propensity[members[i]];
+    }
+    return BuildCdf(weights);
+  };
+  std::vector<std::vector<double>> class_cdf(c);
+  for (int k = 0; k < c; ++k) class_cdf[k] = group_cdf(class_members[k]);
+  std::vector<std::vector<double>> community_cdf(community_members.size());
+  for (size_t k = 0; k < community_members.size(); ++k) {
+    if (!community_members[k].empty()) {
+      community_cdf[k] = group_cdf(community_members[k]);
+    }
+  }
+  std::vector<double> global_cdf = BuildCdf(propensity);
+
+  const int64_t target_edges =
+      static_cast<int64_t>(config.avg_degree * n);
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+  std::unordered_set<int64_t> seen;
+  int64_t attempts = 0;
+  const int64_t max_attempts = target_edges * 30;
+  while (static_cast<int64_t>(edges.size()) < target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int u = SampleFromCdf(global_cdf, &rng);
+    int v;
+    if (rng.Bernoulli(config.homophily)) {
+      if (rng.Bernoulli(config.community_bias)) {
+        const auto& members = community_members[community[u]];
+        v = members[SampleFromCdf(community_cdf[community[u]], &rng)];
+      } else {
+        const auto& members = class_members[labels[u]];
+        v = members[SampleFromCdf(class_cdf[labels[u]], &rng)];
+      }
+    } else {
+      v = SampleFromCdf(global_cdf, &rng);
+      if (labels[v] == labels[u]) continue;  // force a cross-class edge
+    }
+    if (u == v) continue;
+    int64_t key = config.directed
+                      ? static_cast<int64_t>(u) * n + v
+                      : static_cast<int64_t>(std::min(u, v)) * n +
+                            std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    const double w = config.weighted ? rng.Uniform(0.5, 2.0) : 1.0;
+    edges.push_back({u, v, w});
+  }
+
+  // Features.
+  Matrix features;
+  if (config.feature_style != FeatureStyle::kNone) {
+    const int d = config.feature_dim;
+    Matrix centroids = Matrix::Gaussian(c, d, 1.0, &rng);
+    features = Matrix(n, d);
+    for (int i = 0; i < n; ++i) {
+      double* row = features.Row(i);
+      const double* centroid = centroids.Row(labels[i]);
+      for (int j = 0; j < d; ++j) {
+        row[j] = config.feature_signal * centroid[j] + rng.Normal();
+      }
+    }
+    if (config.feature_style == FeatureStyle::kBinaryBow) {
+      for (int64_t i = 0; i < features.size(); ++i) {
+        features.data()[i] = features.data()[i] > 1.0 ? 1.0 : 0.0;
+      }
+    }
+  }
+
+  // Label noise: flip after structure/features are fixed, so the flipped
+  // fraction is irreducible error for any model.
+  if (config.label_noise > 0.0) {
+    Rng noise_rng(config.seed ^ 0xf1a6f1a6ULL);
+    for (int i = 0; i < n; ++i) {
+      if (noise_rng.Bernoulli(config.label_noise)) {
+        const int shift = 1 + static_cast<int>(noise_rng.UniformInt(c - 1));
+        labels[i] = (labels[i] + shift) % c;
+      }
+    }
+  }
+
+  return Graph::Create(n, std::move(edges), config.directed,
+                       std::move(features), std::move(labels), c);
+}
+
+SyntheticConfig PresetConfig(const std::string& name) {
+  SyntheticConfig cfg;
+  cfg.name = name;
+  if (name == "A") {
+    // Cora-scale: 2708 nodes / 5278 edges / 7 classes, moderate homophily.
+    cfg.num_nodes = 2708;
+    cfg.num_classes = 7;
+    cfg.feature_dim = 64;
+    cfg.avg_degree = 5278.0 / 2708.0;
+    cfg.homophily = 0.82;
+    cfg.communities_per_class = 2;
+    cfg.feature_signal = 0.42;
+    cfg.label_noise = 0.09;
+    cfg.weighted = true;
+  } else if (name == "B") {
+    // Citeseer-scale: 3327 nodes / 4552 edges / 6 classes, sparser & noisier.
+    cfg.num_nodes = 3327;
+    cfg.num_classes = 6;
+    cfg.feature_dim = 64;
+    cfg.avg_degree = 4552.0 / 3327.0;
+    cfg.homophily = 0.66;
+    cfg.communities_per_class = 2;
+    cfg.feature_signal = 0.3;
+    cfg.label_noise = 0.16;
+    cfg.weighted = true;
+  } else if (name == "C") {
+    // Dense many-class graph (paper: 10k nodes / 733k edges / 41 classes),
+    // scaled down for a single CPU core.
+    cfg.num_nodes = 2400;
+    cfg.num_classes = 12;
+    cfg.feature_dim = 48;
+    cfg.avg_degree = 30.0;
+    cfg.homophily = 0.62;
+    cfg.communities_per_class = 3;
+    cfg.community_bias = 0.9;
+    cfg.power_law = 0.55;
+    cfg.feature_signal = 0.35;
+    cfg.label_noise = 0.045;
+    cfg.weighted = true;
+  } else if (name == "D") {
+    // Very dense directed weighted graph (paper: 10k nodes / 5.8M edges),
+    // scaled down.
+    cfg.num_nodes = 2000;
+    cfg.num_classes = 8;
+    cfg.feature_dim = 48;
+    cfg.avg_degree = 60.0;
+    cfg.homophily = 0.55;
+    cfg.communities_per_class = 2;
+    cfg.power_law = 0.4;
+    cfg.feature_signal = 0.5;
+    cfg.label_noise = 0.03;
+    cfg.directed = true;
+    cfg.weighted = true;
+  } else if (name == "E") {
+    // Featureless sparse graph; structure is the only signal.
+    cfg.num_nodes = 1600;
+    cfg.num_classes = 3;
+    cfg.feature_style = FeatureStyle::kNone;
+    cfg.feature_dim = 0;
+    cfg.avg_degree = 2.6;
+    cfg.homophily = 0.88;
+    cfg.communities_per_class = 3;
+    cfg.community_bias = 0.8;
+    cfg.label_noise = 0.08;
+  } else if (name == "cora-syn") {
+    cfg.num_nodes = 2708;
+    cfg.num_classes = 7;
+    cfg.feature_dim = 96;
+    cfg.avg_degree = 2.0;
+    cfg.homophily = 0.81;
+    cfg.communities_per_class = 2;
+    cfg.feature_signal = 0.6;
+    cfg.label_noise = 0.12;
+    cfg.feature_style = FeatureStyle::kBinaryBow;
+  } else if (name == "citeseer-syn") {
+    cfg.num_nodes = 3327;
+    cfg.num_classes = 6;
+    cfg.feature_dim = 96;
+    cfg.avg_degree = 1.4;
+    cfg.homophily = 0.7;
+    cfg.communities_per_class = 2;
+    cfg.feature_signal = 0.5;
+    cfg.label_noise = 0.2;
+    cfg.feature_style = FeatureStyle::kBinaryBow;
+  } else if (name == "pubmed-syn") {
+    // Pubmed (19.7k nodes) scaled to 4k.
+    cfg.num_nodes = 4000;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 64;
+    cfg.avg_degree = 2.3;
+    cfg.homophily = 0.8;
+    cfg.communities_per_class = 3;
+    cfg.feature_signal = 0.45;
+    cfg.label_noise = 0.14;
+  } else if (name == "arxiv-syn") {
+    // ogbn-arxiv (169k nodes / 1.17M edges / 40 classes) scaled to 12k.
+    cfg.num_nodes = 12000;
+    cfg.num_classes = 16;
+    cfg.feature_dim = 48;
+    cfg.avg_degree = 4.0;
+    cfg.homophily = 0.68;
+    cfg.communities_per_class = 2;
+    cfg.power_law = 0.45;
+    cfg.feature_signal = 0.4;
+    cfg.label_noise = 0.24;
+    cfg.directed = true;
+  } else {
+    AHG_CHECK_MSG(false, "unknown synthetic preset: " << name);
+  }
+  return cfg;
+}
+
+Graph MakePresetGraph(const std::string& name, uint64_t seed) {
+  SyntheticConfig cfg = PresetConfig(name);
+  cfg.seed = seed;
+  Graph g = GenerateSbmGraph(cfg);
+  if (cfg.feature_style == FeatureStyle::kNone) {
+    g.SynthesizeStructuralFeatures(/*random_dims=*/64, /*seed=*/seed ^ 0xfeedULL);
+  }
+  return g;
+}
+
+std::vector<std::string> KnownPresets() {
+  return {"A",        "B",           "C",          "D",        "E",
+          "cora-syn", "citeseer-syn", "pubmed-syn", "arxiv-syn"};
+}
+
+}  // namespace ahg

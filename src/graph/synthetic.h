@@ -1,0 +1,72 @@
+// Synthetic dataset generators standing in for data this environment cannot
+// access (the proprietary KDD Cup AutoGraph datasets and the public citation
+// benchmarks). A degree-corrected stochastic block model with two-scale
+// community structure and class-correlated features exercises the same code
+// paths: models disagree, homophily varies, degrees are skewed, and larger
+// receptive fields carry extra signal. See DESIGN.md Section 1 for the
+// substitution rationale and Section 5 for the scale-down map.
+#ifndef AUTOHENS_GRAPH_SYNTHETIC_H_
+#define AUTOHENS_GRAPH_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ahg {
+
+enum class FeatureStyle {
+  kGaussian = 0,  // class centroid + Gaussian noise
+  kBinaryBow,     // sparse 0/1 bag-of-words-like
+  kNone,          // featureless (paper dataset E)
+};
+
+struct SyntheticConfig {
+  std::string name = "unnamed";
+  int num_nodes = 1000;
+  int num_classes = 5;
+  int feature_dim = 64;
+  // Expected edges = num_nodes * avg_degree (each stored once; undirected
+  // graphs are symmetrized by Graph).
+  double avg_degree = 4.0;
+  // Probability an edge stays within its endpoint's class.
+  double homophily = 0.8;
+  // Communities nested inside each class; > 1 creates the local/global
+  // structure that rewards mixing different receptive fields.
+  int communities_per_class = 2;
+  // Probability an intra-class edge also stays within the community.
+  double community_bias = 0.85;
+  // Degree-skew: node propensities ~ u^(-power_law) (0 disables skew).
+  double power_law = 0.0;
+  // Feature strength: centroid scale relative to unit noise.
+  double feature_signal = 1.0;
+  // Fraction of labels flipped to a random other class after generation.
+  // Structure/features follow the *true* label, so this caps attainable
+  // accuracy near 1 - label_noise — how the presets are pinned to the
+  // paper's accuracy ranges (e.g. dataset B sits in the low 70s).
+  double label_noise = 0.0;
+  FeatureStyle feature_style = FeatureStyle::kGaussian;
+  bool directed = false;
+  // Edge weights Uniform(0.5, 2.0) when true, else 1.0.
+  bool weighted = false;
+  uint64_t seed = 1;
+};
+
+// Generates a graph from the block-model configuration. All nodes carry
+// ground-truth labels; split utilities decide what is observed.
+Graph GenerateSbmGraph(const SyntheticConfig& config);
+
+// Named presets: "A".."E" (KDD Cup analogs, Table I statistics),
+// "cora-syn", "citeseer-syn", "pubmed-syn", "arxiv-syn". Aborts on an
+// unknown name; see KnownPresets().
+SyntheticConfig PresetConfig(const std::string& name);
+
+// Convenience: PresetConfig + GenerateSbmGraph (+ degree features for E).
+Graph MakePresetGraph(const std::string& name, uint64_t seed);
+
+std::vector<std::string> KnownPresets();
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_GRAPH_SYNTHETIC_H_

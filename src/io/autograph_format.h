@@ -1,0 +1,41 @@
+// Reader/writer for the KDD Cup 2020 AutoGraph on-disk dataset layout
+// (Table X of the paper): a directory holding
+//   train_node_id.txt  one training node index per line
+//   test_node_id.txt   one test node index per line
+//   edge.tsv           src<TAB>dst<TAB>weight
+//   feature.tsv        node_index<TAB>f0<TAB>f1<TAB>...
+//   train_label.tsv    node_index<TAB>class
+//   config.yml         "time_budget: <seconds>" and "n_class: <count>"
+// Test-node labels are withheld (label -1) exactly as in the challenge.
+#ifndef AUTOHENS_IO_AUTOGRAPH_FORMAT_H_
+#define AUTOHENS_IO_AUTOGRAPH_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ahg {
+
+struct AutographDataset {
+  Graph graph;  // labels set only on training nodes
+  std::vector<int> train_nodes;
+  std::vector<int> test_nodes;
+  double time_budget_seconds = 0.0;
+  bool directed = false;
+};
+
+// Serializes `graph` into `dir` (created if absent). Labels of nodes in
+// `test_nodes` are withheld from train_label.tsv.
+Status WriteAutographDataset(const std::string& dir, const Graph& graph,
+                             const std::vector<int>& train_nodes,
+                             const std::vector<int>& test_nodes,
+                             double time_budget_seconds);
+
+// Parses a dataset directory written in the layout above.
+StatusOr<AutographDataset> ReadAutographDataset(const std::string& dir);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_IO_AUTOGRAPH_FORMAT_H_

@@ -1,0 +1,34 @@
+// Binary persistence for trained models: the architecture configuration
+// plus a parameter snapshot (the Matrices from ParameterStore::Snapshot),
+// so a search result or competition submission can be re-materialized
+// without retraining.
+//
+// Format (little-endian): magic "AHGM", u32 version, the ModelConfig
+// fields, u32 tensor count, then per tensor: u32 rows, u32 cols, doubles.
+#ifndef AUTOHENS_IO_MODEL_STORE_H_
+#define AUTOHENS_IO_MODEL_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "util/status.h"
+
+namespace ahg {
+
+struct SavedModel {
+  ModelConfig config;
+  std::vector<Matrix> params;
+};
+
+// Writes `config` + `params` to `path` (overwrites).
+Status SaveModel(const std::string& path, const ModelConfig& config,
+                 const std::vector<Matrix>& params);
+
+// Reads a model saved by SaveModel; validates magic/version and tensor
+// framing.
+StatusOr<SavedModel> LoadModel(const std::string& path);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_IO_MODEL_STORE_H_

@@ -1,0 +1,55 @@
+#include "metrics/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ahg {
+
+RunStats Summarize(const std::vector<double>& values) {
+  AHG_CHECK(!values.empty());
+  RunStats stats;
+  stats.count = static_cast<int>(values.size());
+  stats.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+               stats.count;
+  stats.min = *std::min_element(values.begin(), values.end());
+  stats.max = *std::max_element(values.begin(), values.end());
+  if (stats.count > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(ss / (stats.count - 1));
+  }
+  return stats;
+}
+
+std::string FormatMeanStd(const RunStats& stats, bool percent) {
+  const double scale = percent ? 100.0 : 1.0;
+  return StrFormat("%.1f±%.1f", stats.mean * scale, stats.stddev * scale);
+}
+
+std::vector<double> AverageRankScore(
+    const std::vector<std::vector<double>>& scores_by_dataset) {
+  AHG_CHECK(!scores_by_dataset.empty());
+  const int num_methods = static_cast<int>(scores_by_dataset[0].size());
+  std::vector<double> rank_sum(num_methods, 0.0);
+  for (const auto& scores : scores_by_dataset) {
+    AHG_CHECK_EQ(static_cast<int>(scores.size()), num_methods);
+    for (int m = 0; m < num_methods; ++m) {
+      // rank = 1 + number strictly better + half the number tied.
+      double rank = 1.0;
+      for (int o = 0; o < num_methods; ++o) {
+        if (o == m) continue;
+        if (scores[o] > scores[m]) rank += 1.0;
+        else if (scores[o] == scores[m]) rank += 0.5;
+      }
+      rank_sum[m] += rank;
+    }
+  }
+  for (auto& r : rank_sum) r /= static_cast<double>(scores_by_dataset.size());
+  return rank_sum;
+}
+
+}  // namespace ahg

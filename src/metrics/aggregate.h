@@ -1,0 +1,33 @@
+// Aggregation helpers for repeated-run statistics (mean ± std, min/max
+// spread) used throughout the benches.
+#ifndef AUTOHENS_METRICS_AGGREGATE_H_
+#define AUTOHENS_METRICS_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+namespace ahg {
+
+struct RunStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n - 1); 0 for a single run
+  double min = 0.0;
+  double max = 0.0;
+  int count = 0;
+};
+
+RunStats Summarize(const std::vector<double>& values);
+
+// "86.1±0.2"-style rendering with values scaled by 100 (accuracy -> percent)
+// when `percent` is set.
+std::string FormatMeanStd(const RunStats& stats, bool percent);
+
+// Average rank (1 = best, ties averaged) of each column across rows, the
+// KDD Cup scoring rule: rows = datasets, cols = methods, higher value =
+// better method on that dataset.
+std::vector<double> AverageRankScore(
+    const std::vector<std::vector<double>>& scores_by_dataset);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_METRICS_AGGREGATE_H_

@@ -1,0 +1,65 @@
+#include "metrics/classification_report.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ahg {
+
+ClassificationReport BuildClassificationReport(
+    const Matrix& probs, const std::vector<int>& labels,
+    const std::vector<int>& nodes, int num_classes) {
+  AHG_CHECK(!nodes.empty());
+  AHG_CHECK_GT(num_classes, 0);
+  ClassificationReport report;
+  report.confusion = Matrix(num_classes, num_classes);
+  int correct = 0;
+  for (int node : nodes) {
+    const int truth = labels[node];
+    const int pred = probs.ArgMaxRow(node);
+    AHG_CHECK(truth >= 0 && truth < num_classes);
+    report.confusion(truth, pred) += 1.0;
+    correct += truth == pred;
+  }
+  report.accuracy = static_cast<double>(correct) / nodes.size();
+  report.micro_f1 = report.accuracy;
+
+  report.per_class.resize(num_classes);
+  double macro_sum = 0.0;
+  int classes_with_support = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    double tp = report.confusion(c, c);
+    double actual = 0.0, predicted = 0.0;
+    for (int j = 0; j < num_classes; ++j) {
+      actual += report.confusion(c, j);
+      predicted += report.confusion(j, c);
+    }
+    ClassMetrics& m = report.per_class[c];
+    m.support = static_cast<int>(actual);
+    m.precision = predicted > 0.0 ? tp / predicted : 0.0;
+    m.recall = actual > 0.0 ? tp / actual : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    if (m.support > 0) {
+      macro_sum += m.f1;
+      ++classes_with_support;
+    }
+  }
+  report.macro_f1 =
+      classes_with_support > 0 ? macro_sum / classes_with_support : 0.0;
+  return report;
+}
+
+std::string FormatClassificationReport(const ClassificationReport& report) {
+  std::string out = StrFormat("accuracy: %.3f  macro-F1: %.3f\n",
+                              report.accuracy, report.macro_f1);
+  out += "class  support  precision  recall  f1\n";
+  for (size_t c = 0; c < report.per_class.size(); ++c) {
+    const ClassMetrics& m = report.per_class[c];
+    out += StrFormat("%5zu  %7d  %9.3f  %6.3f  %5.3f\n", c, m.support,
+                     m.precision, m.recall, m.f1);
+  }
+  return out;
+}
+
+}  // namespace ahg

@@ -1,0 +1,41 @@
+// Per-class diagnostics: confusion matrix, precision/recall/F1 per class,
+// micro/macro aggregates — the report a practitioner inspects after the
+// ensemble's headline accuracy.
+#ifndef AUTOHENS_METRICS_CLASSIFICATION_REPORT_H_
+#define AUTOHENS_METRICS_CLASSIFICATION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ahg {
+
+struct ClassMetrics {
+  int support = 0;  // true instances of the class in the evaluation set
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct ClassificationReport {
+  // confusion(i, j): count with true class i predicted as class j.
+  Matrix confusion;
+  std::vector<ClassMetrics> per_class;
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;  // unweighted mean over classes with support
+  double micro_f1 = 0.0;  // == accuracy for single-label classification
+};
+
+// Builds the report from arg-max predictions of `probs` rows listed in
+// `nodes` against `labels`.
+ClassificationReport BuildClassificationReport(
+    const Matrix& probs, const std::vector<int>& labels,
+    const std::vector<int>& nodes, int num_classes);
+
+// Human-readable multi-line rendering.
+std::string FormatClassificationReport(const ClassificationReport& report);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_METRICS_CLASSIFICATION_REPORT_H_

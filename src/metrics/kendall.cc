@@ -1,0 +1,39 @@
+#include "metrics/kendall.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ahg {
+
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
+  AHG_CHECK_EQ(x.size(), y.size());
+  const int n = static_cast<int>(x.size());
+  AHG_CHECK_GE(n, 2);
+  // O(n^2) pair counting is fine at candidate-pool sizes (tens of models).
+  int64_t concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        // tie in both: excluded from all terms
+      } else if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double denom =
+      std::sqrt(static_cast<double>(concordant + discordant + ties_x)) *
+      std::sqrt(static_cast<double>(concordant + discordant + ties_y));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace ahg

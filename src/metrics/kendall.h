@@ -1,0 +1,15 @@
+// Kendall rank correlation (tau-b, tie-corrected) — the statistic the paper
+// uses to validate that proxy evaluation preserves model ranking (Fig. 3).
+#ifndef AUTOHENS_METRICS_KENDALL_H_
+#define AUTOHENS_METRICS_KENDALL_H_
+
+#include <vector>
+
+namespace ahg {
+
+// Returns tau-b in [-1, 1]; 0 if either vector is constant.
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_METRICS_KENDALL_H_

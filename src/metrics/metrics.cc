@@ -1,0 +1,79 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ahg {
+
+double Accuracy(const Matrix& probs, const std::vector<int>& labels,
+                const std::vector<int>& nodes) {
+  AHG_CHECK(!nodes.empty());
+  int correct = 0;
+  for (int node : nodes) {
+    if (probs.ArgMaxRow(node) == labels[node]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+double MacroF1(const Matrix& probs, const std::vector<int>& labels,
+               const std::vector<int>& nodes, int num_classes) {
+  AHG_CHECK(!nodes.empty());
+  std::vector<int> tp(num_classes, 0), fp(num_classes, 0), fn(num_classes, 0);
+  for (int node : nodes) {
+    const int pred = probs.ArgMaxRow(node);
+    const int truth = labels[node];
+    if (pred == truth) {
+      ++tp[truth];
+    } else {
+      ++fp[pred];
+      ++fn[truth];
+    }
+  }
+  double f1_sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    if (tp[c] + fp[c] + fn[c] == 0) continue;
+    ++present;
+    const double denom = 2.0 * tp[c] + fp[c] + fn[c];
+    f1_sum += denom > 0.0 ? 2.0 * tp[c] / denom : 0.0;
+  }
+  return present > 0 ? f1_sum / present : 0.0;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  AHG_CHECK_EQ(scores.size(), labels.size());
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] < scores[b]; });
+  // Average ranks over tie groups, then the Mann-Whitney U statistic.
+  std::vector<double> rank(n, 0.0);
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (i + j) / 2.0 + 1.0;  // 1-based
+    for (int k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  int64_t num_pos = 0;
+  double pos_rank_sum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      ++num_pos;
+      pos_rank_sum += rank[k];
+    }
+  }
+  const int64_t num_neg = n - num_pos;
+  AHG_CHECK_MSG(num_pos > 0 && num_neg > 0,
+                "RocAuc needs both classes present");
+  const double u =
+      pos_rank_sum - static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace ahg

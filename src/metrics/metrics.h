@@ -1,0 +1,26 @@
+// Prediction-quality metrics: accuracy, macro-F1 and ROC-AUC.
+#ifndef AUTOHENS_METRICS_METRICS_H_
+#define AUTOHENS_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ahg {
+
+// Fraction of `nodes` whose arg-max row of `probs` equals labels[node].
+double Accuracy(const Matrix& probs, const std::vector<int>& labels,
+                const std::vector<int>& nodes);
+
+// Unweighted mean of per-class F1 over the classes present in `nodes`.
+double MacroF1(const Matrix& probs, const std::vector<int>& labels,
+               const std::vector<int>& nodes, int num_classes);
+
+// Area under the ROC curve for binary scores; ties share rank (exact
+// Mann-Whitney formulation). labels must contain both classes.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_METRICS_METRICS_H_

@@ -1,0 +1,84 @@
+#include "metrics/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ahg {
+namespace {
+
+// Exact two-sided p-value by enumerating all 2^n sign assignments of the
+// ranks (n <= 12 keeps this at <= 4096 cases).
+double ExactPValue(const std::vector<double>& ranks, double w_observed) {
+  const int n = static_cast<int>(ranks.size());
+  const int total = 1 << n;
+  int at_least_as_extreme = 0;
+  const double total_rank_sum =
+      std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  const double mean = total_rank_sum / 2.0;
+  const double observed_dev = std::abs(w_observed - mean);
+  for (int mask = 0; mask < total; ++mask) {
+    double w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) w += ranks[i];
+    }
+    if (std::abs(w - mean) >= observed_dev - 1e-12) ++at_least_as_extreme;
+  }
+  return static_cast<double>(at_least_as_extreme) / total;
+}
+
+}  // namespace
+
+double WilcoxonSignedRankTest(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  AHG_CHECK_EQ(a.size(), b.size());
+  std::vector<double> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  const int n = static_cast<int>(diffs.size());
+  if (n < 1) return 1.0;
+
+  // Rank |d| with average ranks for ties.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return std::abs(diffs[x]) < std::abs(diffs[y]);
+  });
+  std::vector<double> rank(n, 0.0);
+  double tie_correction = 0.0;
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n &&
+           std::abs(diffs[order[j + 1]]) == std::abs(diffs[order[i]]))
+      ++j;
+    const double avg = (i + j) / 2.0 + 1.0;
+    const int t = j - i + 1;
+    tie_correction += static_cast<double>(t) * t * t - t;
+    for (int k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  for (int k = 0; k < n; ++k) {
+    if (diffs[k] > 0.0) w_plus += rank[k];
+  }
+
+  if (n <= 12) {
+    return ExactPValue(rank, w_plus);
+  }
+  const double mean = n * (n + 1) / 4.0;
+  const double var =
+      n * (n + 1) * (2.0 * n + 1) / 24.0 - tie_correction / 48.0;
+  if (var <= 0.0) return 1.0;
+  // Continuity-corrected normal approximation.
+  const double z = (std::abs(w_plus - mean) - 0.5) / std::sqrt(var);
+  const double p = std::erfc(z / std::sqrt(2.0));
+  return std::min(1.0, p);
+}
+
+}  // namespace ahg

@@ -1,0 +1,21 @@
+// Two-sided Wilcoxon signed-rank test, used by the table benches to report
+// significance between AutoHEnsGNN and the strongest baseline, as in the
+// captions of Tables II, III, V, VIII and IX of the paper.
+#ifndef AUTOHENS_METRICS_WILCOXON_H_
+#define AUTOHENS_METRICS_WILCOXON_H_
+
+#include <vector>
+
+namespace ahg {
+
+// Returns the two-sided p-value for paired samples a, b (H0: same median).
+// Zero differences are discarded (standard practice); with fewer than one
+// nonzero difference the test is undefined and 1.0 is returned. Uses the
+// exact null distribution for n <= 12 and a normal approximation with tie
+// correction beyond that.
+double WilcoxonSignedRankTest(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_METRICS_WILCOXON_H_

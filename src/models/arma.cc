@@ -1,0 +1,108 @@
+// ARMA graph convolution (Bianchi et al., 2019): rational spectral filters
+// realized as parallel recursive stacks. Using M = D^-1/2 A D^-1/2 (no self
+// loops), each stack s iterates
+//   X_s^(t) = sigma(M X_s^(t-1) W_s + X V_s)
+// with the skip term anchored at the input features; stacks are averaged.
+// Each recursion step is exposed as a layer output.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+constexpr int kNumStacks = 2;
+
+class ArmaModel : public GnnModel {
+ public:
+  explicit ArmaModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    for (int s = 0; s < kNumStacks; ++s) {
+      Stack stack;
+      stack.input = std::make_unique<Linear>(&store_, config.in_dim,
+                                             config.hidden_dim, true, &rng);
+      stack.recur = std::make_unique<Linear>(
+          &store_, config.hidden_dim, config.hidden_dim, false, &rng);
+      stack.skip = std::make_unique<Linear>(&store_, config.in_dim,
+                                            config.hidden_dim, false, &rng);
+      stacks_.push_back(std::move(stack));
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& m =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNormNoSelfLoops);
+    Var input = Dropout(x, config_.dropout, ctx.training, ctx.rng);
+    std::vector<Var> states;
+    std::vector<Var> skips;
+    for (auto& stack : stacks_) {
+      states.push_back(Relu(stack.input->Apply(input)));
+      skips.push_back(stack.skip->Apply(input));
+    }
+    std::vector<Var> outputs;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      std::vector<Var> next;
+      for (size_t s = 0; s < stacks_.size(); ++s) {
+        next.push_back(Relu(Add(
+            stacks_[s].recur->Apply(Spmm(m, states[s])), skips[s])));
+      }
+      states = std::move(next);
+      outputs.push_back(MeanOfVars(states));
+    }
+    return outputs;
+  }
+
+ private:
+  struct Stack {
+    std::unique_ptr<Linear> input;
+    std::unique_ptr<Linear> recur;
+    std::unique_ptr<Linear> skip;
+  };
+  std::vector<Stack> stacks_;
+};
+
+// Weisfeiler-Leman GraphConv (Morris et al., 2019): separate root and
+// neighbor transforms with RAW weighted-sum aggregation (direction- and
+// edge-weight-respecting), H^(l) = sigma(H W_root + A_raw H W_neigh).
+class GraphConvModel : public GnnModel {
+ public:
+  explicit GraphConvModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      root_.emplace_back(&store_, in_dim, config.hidden_dim, true, &rng);
+      neigh_.emplace_back(&store_, in_dim, config.hidden_dim, false, &rng);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kRawSelfLoops);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      h = Relu(Add(root_[l].Apply(h), neigh_[l].Apply(Spmm(adj, h))));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> root_;
+  std::vector<Linear> neigh_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeArma(const ModelConfig& config) {
+  return std::make_unique<ArmaModel>(config);
+}
+
+std::unique_ptr<GnnModel> MakeGraphConv(const ModelConfig& config) {
+  return std::make_unique<GraphConvModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

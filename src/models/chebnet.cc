@@ -1,0 +1,67 @@
+// ChebNet (Defferrard et al., 2016): spectral filtering with Chebyshev
+// polynomials of the scaled Laplacian. With lambda_max ~= 2, the scaled
+// Laplacian is Ltilde = -D^-1/2 A D^-1/2, so T_0 = H, T_1 = Ltilde H,
+// T_k = 2 Ltilde T_{k-1} - T_{k-2}; H^(l) = ReLU(sum_k T_k W_k).
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class ChebModel : public GnnModel {
+ public:
+  explicit ChebModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    const int k = std::max(1, config.poly_order);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      std::vector<Linear> filters;
+      for (int i = 0; i <= k; ++i) {
+        filters.emplace_back(&store_, in_dim, config.hidden_dim,
+                             /*bias=*/i == 0, &rng);
+      }
+      layers_.push_back(std::move(filters));
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNormNoSelfLoops);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (const auto& filters : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      // Chebyshev recursion with Ltilde = -adj.
+      Var t_prev = h;
+      Var t_curr = ScalarMul(Spmm(adj, h), -1.0);
+      std::vector<Var> terms;
+      terms.push_back(filters[0].Apply(t_prev));
+      for (size_t i = 1; i < filters.size(); ++i) {
+        terms.push_back(filters[i].Apply(t_curr));
+        if (i + 1 < filters.size()) {
+          Var t_next =
+              Sub(ScalarMul(Spmm(adj, t_curr), -2.0), t_prev);
+          t_prev = t_curr;
+          t_curr = t_next;
+        }
+      }
+      h = Relu(AddN(terms));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<std::vector<Linear>> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeCheb(const ModelConfig& config) {
+  return std::make_unique<ChebModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

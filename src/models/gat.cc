@@ -1,0 +1,82 @@
+// Graph Attention Network (Velickovic et al., 2018).
+// Per layer and head: z = H W_h, e_ij = LeakyReLU(a_dst . z_i + a_src . z_j),
+// attention-softmax over in-neighbors, heads concatenated, ELU activation.
+// hidden_dim is rounded down to a multiple of `heads` per head, with the
+// first head absorbing the remainder so the output width stays hidden_dim.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class GatModel : public GnnModel {
+ public:
+  explicit GatModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    const int heads = std::max(1, config.heads);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      LayerParams layer;
+      int remaining = config.hidden_dim;
+      for (int h = 0; h < heads; ++h) {
+        const int width = h == heads - 1
+                              ? remaining
+                              : config.hidden_dim / heads;
+        remaining -= width;
+        HeadParams head;
+        head.transform =
+            std::make_unique<Linear>(&store_, in_dim, width, false, &rng);
+        head.attn_src = store_.Create(GlorotUniform(width, 1, &rng));
+        head.attn_dst = store_.Create(GlorotUniform(width, 1, &rng));
+        layer.heads.push_back(std::move(head));
+      }
+      layers_.push_back(std::move(layer));
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kRawSelfLoops);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (auto& layer : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      std::vector<Var> head_outputs;
+      head_outputs.reserve(layer.heads.size());
+      for (auto& head : layer.heads) {
+        Var z = head.transform->Apply(h);
+        Var s_src = MatMul(z, head.attn_src);
+        Var s_dst = MatMul(z, head.attn_dst);
+        head_outputs.push_back(
+            GatAggregate(adj, s_src, s_dst, z, config_.attention_slope));
+      }
+      h = Elu(head_outputs.size() == 1 ? head_outputs[0]
+                                       : ConcatCols(head_outputs));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  struct HeadParams {
+    std::unique_ptr<Linear> transform;
+    Var attn_src;
+    Var attn_dst;
+  };
+  struct LayerParams {
+    std::vector<HeadParams> heads;
+  };
+  std::vector<LayerParams> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeGat(const ModelConfig& config) {
+  return std::make_unique<GatModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

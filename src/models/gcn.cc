@@ -1,0 +1,47 @@
+// Graph Convolutional Network (Kipf & Welling, 2017).
+// H^(l) = ReLU(Ahat * Dropout(H^(l-1)) * W_l) with the symmetric-normalized
+// self-looped adjacency.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class GcnModel : public GnnModel {
+ public:
+  explicit GcnModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      layers_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/true,
+                           &rng);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNorm);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (const Linear& layer : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      h = Relu(layer.Apply(Spmm(adj, h)));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeGcn(const ModelConfig& config) {
+  return std::make_unique<GcnModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

@@ -1,0 +1,50 @@
+// Graph Isomorphism Network (Xu et al., 2019), GIN-0 variant: sum
+// aggregation over the self-looped neighborhood followed by a two-layer MLP,
+// H^(l) = MLP_l(A_raw H^(l-1)).
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class GinModel : public GnnModel {
+ public:
+  explicit GinModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      mlp1_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/true,
+                         &rng);
+      mlp2_.emplace_back(&store_, config.hidden_dim, config.hidden_dim,
+                         /*bias=*/true, &rng);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kRawSelfLoops);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      h = Relu(mlp2_[l].Apply(Relu(mlp1_[l].Apply(Spmm(adj, h)))));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> mlp1_;
+  std::vector<Linear> mlp2_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeGin(const ModelConfig& config) {
+  return std::make_unique<GinModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

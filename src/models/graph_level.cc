@@ -1,0 +1,24 @@
+#include "models/graph_level.h"
+
+#include "autodiff/graph_ops.h"
+
+namespace ahg {
+
+std::vector<Var> PooledLayerOutputs(GnnModel* model, const GraphBatch& batch,
+                                    bool training, Rng* rng, bool mean_pool) {
+  GnnContext ctx;
+  ctx.graph = &batch.merged;
+  ctx.training = training;
+  ctx.rng = rng;
+  Var x = MakeConstant(batch.merged.features());
+  std::vector<Var> node_layers = model->LayerOutputs(ctx, x);
+  std::vector<Var> pooled;
+  pooled.reserve(node_layers.size());
+  for (const Var& h : node_layers) {
+    pooled.push_back(
+        SegmentPool(h, batch.segment_ids, batch.num_graphs, mean_pool));
+  }
+  return pooled;
+}
+
+}  // namespace ahg

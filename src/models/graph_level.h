@@ -1,0 +1,21 @@
+// Graph-level adaptation of the node model zoo: per-layer node states are
+// pooled per graph (sum or mean readout), yielding per-layer graph
+// representations that the same GSE/ensemble machinery can consume.
+#ifndef AUTOHENS_MODELS_GRAPH_LEVEL_H_
+#define AUTOHENS_MODELS_GRAPH_LEVEL_H_
+
+#include <vector>
+
+#include "graph/graph_set.h"
+#include "models/model.h"
+
+namespace ahg {
+
+// Runs `model` on the merged batch graph and pools each layer output with
+// SegmentPool; returns num_graphs x hidden_dim per layer.
+std::vector<Var> PooledLayerOutputs(GnnModel* model, const GraphBatch& batch,
+                                    bool training, Rng* rng, bool mean_pool);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_MODELS_GRAPH_LEVEL_H_

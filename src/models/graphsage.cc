@@ -1,0 +1,64 @@
+// GraphSAGE (Hamilton et al., 2017) with mean and max-pool aggregators.
+// Mean:  H^(l) = ReLU(H W_self + RowNorm(A) H W_neigh)
+// Pool:  H^(l) = ReLU(H W_self + MaxPool_neighbors(ReLU(H W_pool)) W_neigh)
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class GraphSageModel : public GnnModel {
+ public:
+  explicit GraphSageModel(const ModelConfig& config) : GnnModel(config) {
+    pool_aggregator_ = config.family == ModelFamily::kSagePool;
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      self_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/true,
+                         &rng);
+      neigh_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/false,
+                          &rng);
+      if (pool_aggregator_) {
+        pool_.emplace_back(&store_, in_dim, in_dim, /*bias=*/true, &rng);
+      }
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& mean_adj =
+        ctx.graph->Adjacency(AdjacencyKind::kRowNorm);
+    const SparseMatrix& raw_adj =
+        ctx.graph->Adjacency(AdjacencyKind::kRawSelfLoops);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      Var agg;
+      if (pool_aggregator_) {
+        agg = NeighborMaxPool(raw_adj, Relu(pool_[l].Apply(h)));
+      } else {
+        agg = Spmm(mean_adj, h);
+      }
+      h = Relu(Add(self_[l].Apply(h), neigh_[l].Apply(agg)));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  bool pool_aggregator_ = false;
+  std::vector<Linear> self_;
+  std::vector<Linear> neigh_;
+  std::vector<Linear> pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeGraphSage(const ModelConfig& config) {
+  return std::make_unique<GraphSageModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

@@ -1,0 +1,102 @@
+// Jumping Knowledge network (Xu et al., 2018), max-pool variant: GCN
+// backbone whose l-th exposed state is the elementwise max over the first l
+// layer representations, so deeper outputs blend all receptive fields seen
+// so far.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class JkMaxModel : public GnnModel {
+ public:
+  explicit JkMaxModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      layers_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/true,
+                           &rng);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNorm);
+    std::vector<Var> outputs;
+    Var h = x;
+    Var jump;
+    for (const Linear& layer : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      h = Relu(layer.Apply(Spmm(adj, h)));
+      jump = jump ? CWiseMax(jump, h) : h;
+      outputs.push_back(jump);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+// Dynamic neighborhood aggregation in the spirit of DNA (Fey, 2019),
+// realized as a learned highway gate between the new aggregation and the
+// previous state: g = sigmoid(H W_g); H^(l) = g .* ReLU(Ahat H W) +
+// (1 - g) .* H^(l-1). (The first layer has no same-width predecessor and
+// uses the plain aggregation.)
+class DnaHighwayModel : public GnnModel {
+ public:
+  explicit DnaHighwayModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      layers_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/true,
+                           &rng);
+      if (l > 0) {
+        // The first layer has no same-width predecessor to gate against.
+        gates_.emplace_back(&store_, in_dim, config.hidden_dim,
+                            /*bias=*/true, &rng);
+      }
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNorm);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      Var input = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      Var agg = Relu(layers_[l].Apply(Spmm(adj, input)));
+      if (l == 0) {
+        h = agg;
+      } else {
+        Var gate = Sigmoid(gates_[l - 1].Apply(input));
+        Var ones = MakeConstant(
+            Matrix::Constant(gate->rows(), gate->cols(), 1.0));
+        h = Add(CWiseMul(gate, agg), CWiseMul(Sub(ones, gate), h));
+      }
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<Linear> gates_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeJkMax(const ModelConfig& config) {
+  return std::make_unique<JkMaxModel>(config);
+}
+
+std::unique_ptr<GnnModel> MakeDnaHighway(const ModelConfig& config) {
+  return std::make_unique<DnaHighwayModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

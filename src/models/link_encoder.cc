@@ -1,0 +1,18 @@
+#include "models/link_encoder.h"
+
+#include "autodiff/ops.h"
+
+namespace ahg {
+
+Var ScorePairs(const Var& embedding, const std::vector<NodePair>& pairs) {
+  std::vector<int> u_idx, v_idx;
+  u_idx.reserve(pairs.size());
+  v_idx.reserve(pairs.size());
+  for (const NodePair& p : pairs) {
+    u_idx.push_back(p.u);
+    v_idx.push_back(p.v);
+  }
+  return RowDot(GatherRows(embedding, u_idx), GatherRows(embedding, v_idx));
+}
+
+}  // namespace ahg

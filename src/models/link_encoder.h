@@ -1,0 +1,19 @@
+// Link-prediction decoding on top of node embeddings: the standard
+// dot-product decoder score(u, v) = z_u . z_v.
+#ifndef AUTOHENS_MODELS_LINK_ENCODER_H_
+#define AUTOHENS_MODELS_LINK_ENCODER_H_
+
+#include <vector>
+
+#include "autodiff/variable.h"
+#include "graph/split.h"
+
+namespace ahg {
+
+// Returns an m x 1 logit column: row i scores pairs[i] from `embedding`
+// (n x d node representations).
+Var ScorePairs(const Var& embedding, const std::vector<NodePair>& pairs);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_MODELS_LINK_ENCODER_H_

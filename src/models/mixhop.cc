@@ -1,0 +1,64 @@
+// MixHop (Abu-El-Haija et al., 2019): each layer concatenates features
+// propagated through different adjacency powers with separate weights,
+// H^(l) = ReLU(||_{k=0..2} Ahat^k H^(l-1) W_k). Output widths of the power
+// branches sum to hidden_dim.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+constexpr int kNumPowers = 3;  // k = 0, 1, 2
+
+class MixHopModel : public GnnModel {
+ public:
+  explicit MixHopModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      std::vector<Linear> branches;
+      int remaining = config.hidden_dim;
+      for (int k = 0; k < kNumPowers; ++k) {
+        const int width = k == kNumPowers - 1
+                              ? remaining
+                              : config.hidden_dim / kNumPowers;
+        remaining -= width;
+        branches.emplace_back(&store_, in_dim, width, /*bias=*/true, &rng);
+      }
+      layers_.push_back(std::move(branches));
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNorm);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (const auto& branches : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      std::vector<Var> parts;
+      Var power = h;
+      for (int k = 0; k < kNumPowers; ++k) {
+        parts.push_back(branches[k].Apply(power));
+        if (k + 1 < kNumPowers) power = Spmm(adj, power);
+      }
+      h = Relu(ConcatCols(parts));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<std::vector<Linear>> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeMixHop(const ModelConfig& config) {
+  return std::make_unique<MixHopModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

@@ -1,0 +1,45 @@
+// Graph-agnostic MLP baseline (the "MLP" row of the paper's Table V): a
+// plain feed-forward network over node features with no message passing.
+// Exposed through the same per-layer interface so it slots into GSE and
+// the ensembles like any other zoo member.
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class MlpModel : public GnnModel {
+ public:
+  explicit MlpModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    for (int l = 0; l < config.num_layers; ++l) {
+      layers_.emplace_back(&store_, in_dim, config.hidden_dim, /*bias=*/true,
+                           &rng);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    std::vector<Var> outputs;
+    Var h = x;
+    for (const Linear& layer : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      h = Relu(layer.Apply(h));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeMlp(const ModelConfig& config) {
+  return std::make_unique<MlpModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

@@ -1,0 +1,49 @@
+#include "models/model.h"
+
+namespace ahg {
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kGcn:
+      return "GCN";
+    case ModelFamily::kSageMean:
+      return "GraphSAGE-mean";
+    case ModelFamily::kSagePool:
+      return "GraphSAGE-pool";
+    case ModelFamily::kGat:
+      return "GAT";
+    case ModelFamily::kSgc:
+      return "SGC";
+    case ModelFamily::kTagcn:
+      return "TAGC";
+    case ModelFamily::kAppnp:
+      return "APPNP";
+    case ModelFamily::kGin:
+      return "GIN";
+    case ModelFamily::kGcnii:
+      return "GCNII";
+    case ModelFamily::kJkMax:
+      return "JKNet";
+    case ModelFamily::kDnaHighway:
+      return "DNA";
+    case ModelFamily::kMixHop:
+      return "MixHop";
+    case ModelFamily::kDagnn:
+      return "DAGNN";
+    case ModelFamily::kCheb:
+      return "ChebNet";
+    case ModelFamily::kGatedGnn:
+      return "GatedGNN";
+    case ModelFamily::kMlp:
+      return "MLP";
+    case ModelFamily::kArma:
+      return "ARMA";
+    case ModelFamily::kGraphConv:
+      return "GraphConv";
+    case ModelFamily::kAgnn:
+      return "AGNN";
+  }
+  return "unknown";
+}
+
+}  // namespace ahg

@@ -1,0 +1,156 @@
+#include "models/model_zoo.h"
+
+#include "models/zoo_internal.h"
+#include "util/logging.h"
+
+namespace ahg {
+
+std::unique_ptr<GnnModel> BuildModel(const ModelConfig& config) {
+  AHG_CHECK_GT(config.in_dim, 0);
+  using namespace zoo_internal;  // NOLINT: single dispatch site
+  switch (config.family) {
+    case ModelFamily::kGcn:
+      return MakeGcn(config);
+    case ModelFamily::kSageMean:
+    case ModelFamily::kSagePool:
+      return MakeGraphSage(config);
+    case ModelFamily::kGat:
+      return MakeGat(config);
+    case ModelFamily::kSgc:
+      return MakeSgc(config);
+    case ModelFamily::kTagcn:
+      return MakeTagcn(config);
+    case ModelFamily::kAppnp:
+      return MakeAppnp(config);
+    case ModelFamily::kGin:
+      return MakeGin(config);
+    case ModelFamily::kGcnii:
+      return MakeGcnii(config);
+    case ModelFamily::kJkMax:
+      return MakeJkMax(config);
+    case ModelFamily::kDnaHighway:
+      return MakeDnaHighway(config);
+    case ModelFamily::kMixHop:
+      return MakeMixHop(config);
+    case ModelFamily::kDagnn:
+      return MakeDagnn(config);
+    case ModelFamily::kCheb:
+      return MakeCheb(config);
+    case ModelFamily::kGatedGnn:
+      return MakeGatedGnn(config);
+    case ModelFamily::kMlp:
+      return MakeMlp(config);
+    case ModelFamily::kArma:
+      return MakeArma(config);
+    case ModelFamily::kGraphConv:
+      return MakeGraphConv(config);
+    case ModelFamily::kAgnn:
+      return MakeAgnn(config);
+  }
+  AHG_CHECK_MSG(false, "unhandled model family");
+  return nullptr;
+}
+
+namespace {
+
+CandidateSpec Spec(const std::string& name, ModelFamily family,
+                   int num_layers, double dropout) {
+  CandidateSpec spec;
+  spec.name = name;
+  spec.config.family = family;
+  spec.config.num_layers = num_layers;
+  spec.config.dropout = dropout;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<CandidateSpec> DefaultCandidatePool() {
+  std::vector<CandidateSpec> pool;
+  // Spectral-style convolutional aggregators.
+  pool.push_back(Spec("GCN", ModelFamily::kGcn, 2, 0.5));
+  pool.push_back(Spec("GCN-3L", ModelFamily::kGcn, 3, 0.5));
+  pool.push_back(Spec("ChebNet", ModelFamily::kCheb, 2, 0.5));
+  {
+    CandidateSpec s = Spec("TAGC", ModelFamily::kTagcn, 2, 0.5);
+    s.config.poly_order = 3;
+    pool.push_back(s);
+  }
+  pool.push_back(Spec("SGC", ModelFamily::kSgc, 3, 0.25));
+  pool.push_back(Spec("ARMA", ModelFamily::kArma, 2, 0.5));
+  // Spatial aggregators.
+  pool.push_back(Spec("GraphSAGE-mean", ModelFamily::kSageMean, 2, 0.5));
+  pool.push_back(Spec("GraphSAGE-pool", ModelFamily::kSagePool, 2, 0.5));
+  pool.push_back(Spec("GIN", ModelFamily::kGin, 2, 0.5));
+  pool.push_back(Spec("GraphConv", ModelFamily::kGraphConv, 2, 0.5));
+  pool.push_back(Spec("MixHop", ModelFamily::kMixHop, 2, 0.5));
+  // Attention aggregators.
+  {
+    CandidateSpec s = Spec("GAT", ModelFamily::kGat, 2, 0.5);
+    s.config.heads = 4;
+    pool.push_back(s);
+  }
+  pool.push_back(Spec("AGNN", ModelFamily::kAgnn, 3, 0.5));
+  {
+    CandidateSpec s = Spec("GAT-1h", ModelFamily::kGat, 2, 0.5);
+    s.config.heads = 1;
+    pool.push_back(s);
+  }
+  // Decoupled propagation.
+  {
+    CandidateSpec s = Spec("APPNP", ModelFamily::kAppnp, 6, 0.5);
+    s.config.teleport = 0.1;
+    pool.push_back(s);
+  }
+  {
+    CandidateSpec s = Spec("APPNP-a2", ModelFamily::kAppnp, 6, 0.5);
+    s.config.teleport = 0.2;
+    pool.push_back(s);
+  }
+  pool.push_back(Spec("DAGNN", ModelFamily::kDagnn, 6, 0.5));
+  // Deep / skip-connection models.
+  {
+    CandidateSpec s = Spec("GCNII", ModelFamily::kGcnii, 6, 0.5);
+    s.config.gcnii_alpha = 0.1;
+    s.config.gcnii_lambda = 0.5;
+    pool.push_back(s);
+  }
+  {
+    CandidateSpec s = Spec("GCNII-deep", ModelFamily::kGcnii, 10, 0.5);
+    s.config.gcnii_alpha = 0.1;
+    s.config.gcnii_lambda = 0.5;
+    pool.push_back(s);
+  }
+  pool.push_back(Spec("JKNet", ModelFamily::kJkMax, 3, 0.5));
+  pool.push_back(Spec("DNA", ModelFamily::kDnaHighway, 3, 0.5));
+  // Gate updater.
+  pool.push_back(Spec("GatedGNN", ModelFamily::kGatedGnn, 3, 0.5));
+  // Graph-agnostic baseline.
+  pool.push_back(Spec("MLP", ModelFamily::kMlp, 2, 0.5));
+  // Low-dropout variants of the strongest shallow models round the pool
+  // past 20 candidates.
+  pool.push_back(Spec("GCN-d25", ModelFamily::kGcn, 2, 0.25));
+  pool.push_back(Spec("GraphSAGE-d25", ModelFamily::kSageMean, 2, 0.25));
+  pool.push_back(Spec("TAGC-d25", ModelFamily::kTagcn, 2, 0.25));
+  return pool;
+}
+
+std::vector<CandidateSpec> CompactCandidatePool() {
+  std::vector<CandidateSpec> pool;
+  for (const char* name :
+       {"GCN", "GAT", "GraphSAGE-mean", "TAGC", "APPNP", "GCNII", "SGC",
+        "GIN"}) {
+    pool.push_back(FindCandidate(name));
+  }
+  return pool;
+}
+
+CandidateSpec FindCandidate(const std::string& name) {
+  for (const CandidateSpec& spec : DefaultCandidatePool()) {
+    if (spec.name == name) return spec;
+  }
+  AHG_CHECK_MSG(false, "unknown candidate: " << name);
+  return {};
+}
+
+}  // namespace ahg

@@ -1,0 +1,31 @@
+// The candidate pool: named architecture variants that proxy evaluation
+// ranks (Section IV-B of the paper evaluates "more than 20 models with
+// diverse designs of aggregators" — spectral/spatial convolutions,
+// attention, skip connections, gate updaters).
+#ifndef AUTOHENS_MODELS_MODEL_ZOO_H_
+#define AUTOHENS_MODELS_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace ahg {
+
+struct CandidateSpec {
+  std::string name;    // unique display name, e.g. "GAT-4h"
+  ModelConfig config;  // in_dim and seed are filled in at build time
+};
+
+// The full 20+-entry pool used for proxy-evaluation experiments.
+std::vector<CandidateSpec> DefaultCandidatePool();
+
+// A reduced pool (one variant per major family) for quicker benches.
+std::vector<CandidateSpec> CompactCandidatePool();
+
+// Lookup by name in DefaultCandidatePool(); aborts if missing.
+CandidateSpec FindCandidate(const std::string& name);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_MODELS_MODEL_ZOO_H_

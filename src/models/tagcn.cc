@@ -1,0 +1,51 @@
+// Topology Adaptive GCN (Du et al., 2017): each layer applies a learned
+// polynomial filter, H^(l) = ReLU(sum_{k=0..K} Ahat^k H^(l-1) W_k), realized
+// as a concatenation of adjacency powers followed by one linear map.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "models/zoo_internal.h"
+#include "nn/linear.h"
+
+namespace ahg::zoo_internal {
+namespace {
+
+class TagcnModel : public GnnModel {
+ public:
+  explicit TagcnModel(const ModelConfig& config) : GnnModel(config) {
+    Rng rng(config.seed);
+    int in_dim = config.in_dim;
+    const int k = std::max(1, config.poly_order);
+    for (int l = 0; l < config.num_layers; ++l) {
+      layers_.emplace_back(&store_, in_dim * (k + 1), config.hidden_dim,
+                           /*bias=*/true, &rng);
+      in_dim = config.hidden_dim;
+    }
+  }
+
+  std::vector<Var> LayerOutputs(const GnnContext& ctx, const Var& x) override {
+    const SparseMatrix& adj =
+        ctx.graph->Adjacency(AdjacencyKind::kSymNorm);
+    const int k = std::max(1, config_.poly_order);
+    std::vector<Var> outputs;
+    Var h = x;
+    for (const Linear& layer : layers_) {
+      h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
+      std::vector<Var> powers{h};
+      for (int p = 0; p < k; ++p) powers.push_back(Spmm(adj, powers.back()));
+      h = Relu(layer.Apply(ConcatCols(powers)));
+      outputs.push_back(h);
+    }
+    return outputs;
+  }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> MakeTagcn(const ModelConfig& config) {
+  return std::make_unique<TagcnModel>(config);
+}
+
+}  // namespace ahg::zoo_internal

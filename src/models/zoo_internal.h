@@ -1,0 +1,33 @@
+// Internal factory declarations for the model zoo; users go through
+// BuildModel (models/model.h) or the candidate pool (models/model_zoo.h).
+#ifndef AUTOHENS_MODELS_ZOO_INTERNAL_H_
+#define AUTOHENS_MODELS_ZOO_INTERNAL_H_
+
+#include <memory>
+
+#include "models/model.h"
+
+namespace ahg::zoo_internal {
+
+std::unique_ptr<GnnModel> MakeGcn(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGraphSage(const ModelConfig& config);  // mean/pool
+std::unique_ptr<GnnModel> MakeGat(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeSgc(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeTagcn(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeAppnp(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGin(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGcnii(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeJkMax(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeDnaHighway(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeMixHop(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeDagnn(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeCheb(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGatedGnn(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeMlp(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeArma(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGraphConv(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeAgnn(const ModelConfig& config);
+
+}  // namespace ahg::zoo_internal
+
+#endif  // AUTOHENS_MODELS_ZOO_INTERNAL_H_

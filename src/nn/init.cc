@@ -1,0 +1,19 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ahg {
+
+Matrix GlorotUniform(int fan_in, int fan_out, Rng* rng) {
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  Matrix m(fan_in, fan_out);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-a, a);
+  return m;
+}
+
+Matrix HeNormal(int fan_in, int fan_out, Rng* rng) {
+  const double stddev = std::sqrt(2.0 / fan_in);
+  return Matrix::Gaussian(fan_in, fan_out, stddev, rng);
+}
+
+}  // namespace ahg

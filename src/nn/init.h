@@ -1,0 +1,19 @@
+// Weight initializers. Each model seeds its own Rng, which is how graph
+// self-ensemble obtains its K differently-initialized sub-models.
+#ifndef AUTOHENS_NN_INIT_H_
+#define AUTOHENS_NN_INIT_H_
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace ahg {
+
+// Uniform(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix GlorotUniform(int fan_in, int fan_out, Rng* rng);
+
+// N(0, 2 / fan_in) — for ReLU-family activations.
+Matrix HeNormal(int fan_in, int fan_out, Rng* rng);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_NN_INIT_H_

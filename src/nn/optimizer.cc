@@ -1,0 +1,57 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ahg {
+
+Adam::Adam(std::vector<Var> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node& p = *params_[i];
+    if (p.grad.empty()) continue;  // Parameter unused in this graph.
+    double* w = p.value.data();
+    const double* g = p.grad.data();
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    for (int64_t k = 0; k < p.value.size(); ++k) {
+      const double grad = g[k] + config_.weight_decay * w[k];
+      m[k] = config_.beta1 * m[k] + (1.0 - config_.beta1) * grad;
+      v[k] = config_.beta2 * v[k] + (1.0 - config_.beta2) * grad * grad;
+      const double m_hat = m[k] / bc1;
+      const double v_hat = v[k] / bc2;
+      w[k] -= config_.learning_rate * m_hat /
+              (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Var> params, double learning_rate, double weight_decay)
+    : params_(std::move(params)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (auto& param : params_) {
+    Node& p = *param;
+    if (p.grad.empty()) continue;
+    double* w = p.value.data();
+    const double* g = p.grad.data();
+    for (int64_t k = 0; k < p.value.size(); ++k) {
+      w[k] -= learning_rate_ * (g[k] + weight_decay_ * w[k]);
+    }
+  }
+}
+
+}  // namespace ahg

@@ -1,0 +1,64 @@
+// First-order optimizers. Adam follows the paper's appendix configuration
+// (beta1 = 0.9, beta2 = 0.98, eps = 1e-9, L2 weight decay added to the
+// gradient, learning-rate decay handled by the caller via set_learning_rate).
+#ifndef AUTOHENS_NN_OPTIMIZER_H_
+#define AUTOHENS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autodiff/variable.h"
+
+namespace ahg {
+
+struct AdamConfig {
+  double learning_rate = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.98;
+  double epsilon = 1e-9;
+  double weight_decay = 5e-4;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  virtual void set_learning_rate(double lr) = 0;
+  virtual double learning_rate() const = 0;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, const AdamConfig& config);
+
+  void Step() override;
+  void set_learning_rate(double lr) override { config_.learning_rate = lr; }
+  double learning_rate() const override { return config_.learning_rate; }
+
+ private:
+  std::vector<Var> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t step_ = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, double learning_rate, double weight_decay);
+
+  void Step() override;
+  void set_learning_rate(double lr) override { learning_rate_ = lr; }
+  double learning_rate() const override { return learning_rate_; }
+
+ private:
+  std::vector<Var> params_;
+  double learning_rate_;
+  double weight_decay_;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_NN_OPTIMIZER_H_

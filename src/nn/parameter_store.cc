@@ -1,0 +1,37 @@
+#include "nn/parameter_store.h"
+
+namespace ahg {
+
+Var ParameterStore::Create(Matrix init) {
+  Var p = MakeParam(std::move(init));
+  params_.push_back(p);
+  return p;
+}
+
+void ParameterStore::ZeroGrad() {
+  for (auto& p : params_) p->ZeroGrad();
+}
+
+int64_t ParameterStore::NumParams() const {
+  int64_t total = 0;
+  for (const auto& p : params_) total += p->value.size();
+  return total;
+}
+
+std::vector<Matrix> ParameterStore::Snapshot() const {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params_.size());
+  for (const auto& p : params_) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void ParameterStore::Restore(const std::vector<Matrix>& snapshot) {
+  AHG_CHECK_EQ(snapshot.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    AHG_CHECK(snapshot[i].rows() == params_[i]->value.rows() &&
+              snapshot[i].cols() == params_[i]->value.cols());
+    params_[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace ahg

@@ -1,0 +1,41 @@
+// Owns the trainable parameters of a model: creation, grad clearing, and
+// snapshot/restore (used by early stopping to keep the best-validation
+// weights, mirroring the paper's training protocol).
+#ifndef AUTOHENS_NN_PARAMETER_STORE_H_
+#define AUTOHENS_NN_PARAMETER_STORE_H_
+
+#include <vector>
+
+#include "autodiff/variable.h"
+
+namespace ahg {
+
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  // Wraps `init` in a gradient-tracked Var and registers it.
+  Var Create(Matrix init);
+
+  const std::vector<Var>& params() const { return params_; }
+
+  void ZeroGrad();
+
+  // Total scalar parameter count.
+  int64_t NumParams() const;
+
+  // Deep-copies all parameter values.
+  std::vector<Matrix> Snapshot() const;
+
+  // Restores values captured by Snapshot() (shapes must match).
+  void Restore(const std::vector<Matrix>& snapshot);
+
+ private:
+  std::vector<Var> params_;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_NN_PARAMETER_STORE_H_

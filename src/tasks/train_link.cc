@@ -1,0 +1,112 @@
+#include "tasks/train_link.h"
+
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "metrics/metrics.h"
+#include "models/link_encoder.h"
+#include "nn/optimizer.h"
+#include "util/stopwatch.h"
+
+namespace ahg {
+namespace {
+
+std::vector<NodePair> ConcatPairs(const std::vector<NodePair>& pos,
+                                  const std::vector<NodePair>& neg) {
+  std::vector<NodePair> all = pos;
+  all.insert(all.end(), neg.begin(), neg.end());
+  return all;
+}
+
+std::vector<double> SigmoidScores(const Var& logits) {
+  std::vector<double> scores(logits->rows());
+  for (int r = 0; r < logits->rows(); ++r) {
+    scores[r] = 1.0 / (1.0 + std::exp(-logits->value(r, 0)));
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<int> LinkLabels(int num_pos, int num_neg) {
+  std::vector<int> labels(num_pos, 1);
+  labels.insert(labels.end(), num_neg, 0);
+  return labels;
+}
+
+LinkTrainResult TrainLinkModel(const ModelConfig& model_config,
+                               const LinkSplit& split,
+                               const TrainConfig& train_config) {
+  Stopwatch watch;
+  const Graph& graph = split.train_graph;
+  ModelConfig cfg = model_config;
+  cfg.in_dim = graph.feature_dim();
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+
+  AdamConfig adam_config;
+  adam_config.learning_rate = train_config.learning_rate;
+  adam_config.weight_decay = train_config.weight_decay;
+  Adam optimizer(model->params()->params(), adam_config);
+
+  Rng dropout_rng(train_config.seed);
+  Var features = MakeConstant(graph.features());
+
+  const std::vector<NodePair> train_pairs =
+      ConcatPairs(split.train_pos, split.train_neg);
+  const std::vector<double> train_targets = [&] {
+    std::vector<double> t(split.train_pos.size(), 1.0);
+    t.insert(t.end(), split.train_neg.size(), 0.0);
+    return t;
+  }();
+  const std::vector<NodePair> val_pairs =
+      ConcatPairs(split.val_pos, split.val_neg);
+  const std::vector<NodePair> test_pairs =
+      ConcatPairs(split.test_pos, split.test_neg);
+  const std::vector<int> val_labels = LinkLabels(
+      static_cast<int>(split.val_pos.size()),
+      static_cast<int>(split.val_neg.size()));
+  const std::vector<int> test_labels = LinkLabels(
+      static_cast<int>(split.test_pos.size()),
+      static_cast<int>(split.test_neg.size()));
+
+  auto embed = [&](bool training) {
+    GnnContext ctx;
+    ctx.graph = &graph;
+    ctx.training = training;
+    ctx.rng = &dropout_rng;
+    return model->LayerOutputs(ctx, features).back();
+  };
+
+  LinkTrainResult result;
+  int epochs_since_best = 0;
+  for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    model->params()->ZeroGrad();
+    Var loss =
+        BceWithLogits(ScorePairs(embed(true), train_pairs), train_targets);
+    Backward(loss);
+    optimizer.Step();
+    if (train_config.lr_decay_every > 0 &&
+        epoch % train_config.lr_decay_every == 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  train_config.lr_decay);
+    }
+
+    Var z = embed(false);
+    const std::vector<double> val_scores =
+        SigmoidScores(ScorePairs(z, val_pairs));
+    const double val_auc = RocAuc(val_scores, val_labels);
+    if (epoch == 1 || val_auc > result.val_auc) {
+      result.val_auc = val_auc;
+      result.val_scores = val_scores;
+      result.test_scores = SigmoidScores(ScorePairs(z, test_pairs));
+      result.test_auc = RocAuc(result.test_scores, test_labels);
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= train_config.patience) {
+      break;
+    }
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ahg

@@ -1,0 +1,34 @@
+// Link prediction (Table VIII): a zoo model encodes nodes, a dot-product
+// decoder scores pairs, trained with binary cross-entropy against sampled
+// negatives and early-stopped on validation AUC.
+#ifndef AUTOHENS_TASKS_TRAIN_LINK_H_
+#define AUTOHENS_TASKS_TRAIN_LINK_H_
+
+#include <vector>
+
+#include "graph/split.h"
+#include "models/model.h"
+#include "tasks/train_node.h"
+
+namespace ahg {
+
+struct LinkTrainResult {
+  double val_auc = 0.0;
+  double test_auc = 0.0;
+  // Sigmoid scores at the best epoch, ordered positives-then-negatives to
+  // match Labels() below; kept so ensembles can average scores.
+  std::vector<double> val_scores;
+  std::vector<double> test_scores;
+  double train_seconds = 0.0;
+};
+
+// 1-labels for positives followed by 0-labels for negatives.
+std::vector<int> LinkLabels(int num_pos, int num_neg);
+
+LinkTrainResult TrainLinkModel(const ModelConfig& model_config,
+                               const LinkSplit& split,
+                               const TrainConfig& train_config);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_TASKS_TRAIN_LINK_H_

@@ -1,0 +1,106 @@
+#include "tasks/train_node.h"
+
+#include "autodiff/ops.h"
+#include "metrics/metrics.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "util/stopwatch.h"
+
+namespace ahg {
+
+NodeTrainResult TrainSingleNodeModel(const ModelConfig& model_config,
+                                     const Graph& graph,
+                                     const DataSplit& split,
+                                     const TrainConfig& train_config) {
+  Stopwatch watch;
+  ModelConfig cfg = model_config;
+  cfg.in_dim = graph.feature_dim();
+  AHG_CHECK_GT(cfg.in_dim, 0);
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  Rng init_rng(cfg.seed ^ 0x9e3779b9ULL);
+  Linear head(model->params(), cfg.hidden_dim, graph.num_classes(),
+              /*bias=*/true, &init_rng);
+
+  AdamConfig adam_config;
+  adam_config.learning_rate = train_config.learning_rate;
+  adam_config.weight_decay = train_config.weight_decay;
+  Adam optimizer(model->params()->params(), adam_config);
+
+  Rng dropout_rng(train_config.seed);
+  Var features = MakeConstant(graph.features());
+
+  auto forward_logits = [&](bool training) {
+    GnnContext ctx;
+    ctx.graph = &graph;
+    ctx.training = training;
+    ctx.rng = &dropout_rng;
+    std::vector<Var> layers = model->LayerOutputs(ctx, features);
+    return head.Apply(layers.back());
+  };
+
+  NodeTrainResult result;
+  int epochs_since_best = 0;
+  for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    // Train step.
+    model->params()->ZeroGrad();
+    Var loss =
+        MaskedCrossEntropy(forward_logits(true), graph.labels(), split.train);
+    Backward(loss);
+    optimizer.Step();
+    if (train_config.lr_decay_every > 0 &&
+        epoch % train_config.lr_decay_every == 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  train_config.lr_decay);
+    }
+
+    // Validation (eval-mode forward, no dropout).
+    Var logits = forward_logits(false);
+    const Matrix probs = RowSoftmax(logits->value);
+    const double val_acc =
+        split.val.empty() ? -Accuracy(probs, graph.labels(), split.train)
+                          : Accuracy(probs, graph.labels(), split.val);
+    if (epoch == 1 || val_acc > result.val_accuracy) {
+      result.val_accuracy = val_acc;
+      result.best_epoch = epoch;
+      result.probs = probs;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= train_config.patience) {
+      break;
+    }
+  }
+  if (split.val.empty()) result.val_accuracy = -result.val_accuracy;
+  if (!split.test.empty()) {
+    result.test_accuracy = Accuracy(result.probs, graph.labels(), split.test);
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+NodeTrainResult GridSearchTrain(const ModelConfig& model_config,
+                                const Graph& graph, const DataSplit& split,
+                                const TrainConfig& train_config,
+                                const GridSearchSpace& space,
+                                ModelConfig* best_model_config,
+                                TrainConfig* best_train_config) {
+  NodeTrainResult best;
+  bool first = true;
+  for (double lr : space.learning_rates) {
+    for (double dropout : space.dropouts) {
+      ModelConfig mcfg = model_config;
+      mcfg.dropout = dropout;
+      TrainConfig tcfg = train_config;
+      tcfg.learning_rate = lr;
+      NodeTrainResult result =
+          TrainSingleNodeModel(mcfg, graph, split, tcfg);
+      if (first || result.val_accuracy > best.val_accuracy) {
+        first = false;
+        best = std::move(result);
+        if (best_model_config != nullptr) *best_model_config = mcfg;
+        if (best_train_config != nullptr) *best_train_config = tcfg;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ahg

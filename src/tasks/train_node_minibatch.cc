@@ -1,0 +1,155 @@
+#include "tasks/train_node_minibatch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "autodiff/ops.h"
+#include "metrics/metrics.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "util/stopwatch.h"
+
+namespace ahg {
+
+SampledBatch SampleNeighborhoodBatch(const Graph& graph,
+                                     const std::vector<int>& seeds, int hops,
+                                     int fanout, Rng* rng) {
+  AHG_CHECK(!seeds.empty());
+  const SparseMatrix& adj = graph.Adjacency(AdjacencyKind::kRawSelfLoops);
+  // Closure: BFS over sampled in-neighbors, seeds first so their subgraph
+  // indices are 0..num_seeds-1.
+  std::unordered_map<int, int> index_of;
+  std::vector<int> node_map;
+  auto add_node = [&](int node) {
+    auto [it, inserted] =
+        index_of.insert({node, static_cast<int>(node_map.size())});
+    if (inserted) node_map.push_back(node);
+    return it->second;
+  };
+  for (int seed : seeds) add_node(seed);
+  std::vector<int> frontier = seeds;
+  for (int hop = 0; hop < hops; ++hop) {
+    std::vector<int> next;
+    for (int node : frontier) {
+      const int64_t begin = adj.row_ptr()[node];
+      const int64_t degree = adj.row_ptr()[node + 1] - begin;
+      if (degree <= fanout) {
+        for (int64_t i = begin; i < begin + degree; ++i) {
+          const int nbr = adj.col_idx()[i];
+          if (index_of.find(nbr) == index_of.end()) next.push_back(nbr);
+          add_node(nbr);
+        }
+      } else {
+        for (int pick : rng->SampleWithoutReplacement(
+                 static_cast<int>(degree), fanout)) {
+          const int nbr = adj.col_idx()[begin + pick];
+          if (index_of.find(nbr) == index_of.end()) next.push_back(nbr);
+          add_node(nbr);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  // Induced subgraph on the closure.
+  std::vector<Edge> edges;
+  for (const Edge& e : graph.edges()) {
+    auto src_it = index_of.find(e.src);
+    if (src_it == index_of.end()) continue;
+    auto dst_it = index_of.find(e.dst);
+    if (dst_it == index_of.end()) continue;
+    edges.push_back({src_it->second, dst_it->second, e.weight});
+  }
+  const int n = static_cast<int>(node_map.size());
+  Matrix features(n, graph.feature_dim());
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const double* src = graph.features().Row(node_map[i]);
+    std::copy(src, src + features.cols(), features.Row(i));
+    labels[i] = graph.labels()[node_map[i]];
+  }
+  SampledBatch batch;
+  batch.graph = Graph::Create(n, std::move(edges), graph.directed(),
+                              std::move(features), std::move(labels),
+                              graph.num_classes());
+  batch.node_map = std::move(node_map);
+  batch.num_seeds = static_cast<int>(seeds.size());
+  return batch;
+}
+
+NodeTrainResult TrainSingleNodeModelMinibatch(
+    const ModelConfig& model_config, const Graph& graph,
+    const DataSplit& split, const TrainConfig& train_config,
+    const MinibatchConfig& minibatch_config) {
+  Stopwatch watch;
+  ModelConfig cfg = model_config;
+  cfg.in_dim = graph.feature_dim();
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  Rng init_rng(cfg.seed ^ 0x9e3779b9ULL);
+  Linear head(model->params(), cfg.hidden_dim, graph.num_classes(),
+              /*bias=*/true, &init_rng);
+  AdamConfig adam_config;
+  adam_config.learning_rate = train_config.learning_rate;
+  adam_config.weight_decay = train_config.weight_decay;
+  Adam optimizer(model->params()->params(), adam_config);
+  Rng rng(train_config.seed);
+
+  Var full_features = MakeConstant(graph.features());
+  auto full_eval_probs = [&] {
+    GnnContext ctx{&graph, /*training=*/false, nullptr};
+    Var logits = head.Apply(model->LayerOutputs(ctx, full_features).back());
+    return RowSoftmax(logits->value);
+  };
+
+  NodeTrainResult result;
+  std::vector<int> train_nodes = split.train;
+  int epochs_since_best = 0;
+  for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    rng.Shuffle(&train_nodes);
+    for (size_t begin = 0; begin < train_nodes.size();
+         begin += minibatch_config.batch_size) {
+      const size_t end = std::min(train_nodes.size(),
+                                  begin + minibatch_config.batch_size);
+      std::vector<int> seeds(train_nodes.begin() + begin,
+                             train_nodes.begin() + end);
+      SampledBatch batch = SampleNeighborhoodBatch(
+          graph, seeds, cfg.num_layers, minibatch_config.fanout, &rng);
+      // Loss on the seed rows (indices 0..num_seeds-1 by construction).
+      std::vector<int> seed_idx(batch.num_seeds);
+      for (int i = 0; i < batch.num_seeds; ++i) seed_idx[i] = i;
+      model->params()->ZeroGrad();
+      GnnContext ctx{&batch.graph, /*training=*/true, &rng};
+      Var x = MakeConstant(batch.graph.features());
+      Var logits = head.Apply(model->LayerOutputs(ctx, x).back());
+      Backward(MaskedCrossEntropy(logits, batch.graph.labels(), seed_idx));
+      optimizer.Step();
+    }
+    if (train_config.lr_decay_every > 0 &&
+        epoch % train_config.lr_decay_every == 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  train_config.lr_decay);
+    }
+    if (epoch % std::max(1, minibatch_config.eval_every) != 0) continue;
+    const Matrix probs = full_eval_probs();
+    const double val_acc =
+        split.val.empty() ? -Accuracy(probs, graph.labels(), split.train)
+                          : Accuracy(probs, graph.labels(), split.val);
+    if (result.best_epoch == 0 || val_acc > result.val_accuracy) {
+      result.val_accuracy = val_acc;
+      result.best_epoch = epoch;
+      result.probs = probs;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= train_config.patience) {
+      break;
+    }
+  }
+  if (split.val.empty()) result.val_accuracy = -result.val_accuracy;
+  if (!split.test.empty()) {
+    result.test_accuracy = Accuracy(result.probs, graph.labels(), split.test);
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ahg

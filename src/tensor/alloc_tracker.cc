@@ -1,0 +1,33 @@
+#include "tensor/alloc_tracker.h"
+
+#include <atomic>
+
+namespace ahg {
+namespace {
+
+std::atomic<int64_t> g_current_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+}  // namespace
+
+void AllocTracker::Add(size_t bytes) {
+  const int64_t now =
+      g_current_bytes.fetch_add(static_cast<int64_t>(bytes)) +
+      static_cast<int64_t>(bytes);
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, now)) {
+  }
+}
+
+void AllocTracker::Remove(size_t bytes) {
+  g_current_bytes.fetch_sub(static_cast<int64_t>(bytes));
+}
+
+int64_t AllocTracker::CurrentBytes() { return g_current_bytes.load(); }
+
+int64_t AllocTracker::PeakBytes() { return g_peak_bytes.load(); }
+
+void AllocTracker::ResetPeak() { g_peak_bytes.store(g_current_bytes.load()); }
+
+}  // namespace ahg

@@ -1,0 +1,34 @@
+// Process-wide accounting of tensor memory.
+//
+// Every Matrix allocation/release reports here; the runtime-statistics bench
+// (Table VI of the paper) reads the peak to reproduce the paper's "Peak GPU"
+// column on our CPU substrate.
+#ifndef AUTOHENS_TENSOR_ALLOC_TRACKER_H_
+#define AUTOHENS_TENSOR_ALLOC_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ahg {
+
+class AllocTracker {
+ public:
+  // Records `bytes` newly allocated.
+  static void Add(size_t bytes);
+
+  // Records `bytes` released.
+  static void Remove(size_t bytes);
+
+  // Bytes currently live.
+  static int64_t CurrentBytes();
+
+  // High-water mark since the last ResetPeak().
+  static int64_t PeakBytes();
+
+  // Sets the peak to the current live size.
+  static void ResetPeak();
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_TENSOR_ALLOC_TRACKER_H_

@@ -1,0 +1,260 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/alloc_tracker.h"
+#include "util/rng.h"
+
+namespace ahg {
+
+void Matrix::Allocate(int rows, int cols) {
+  AHG_CHECK_GE(rows, 0);
+  AHG_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  const int64_t n = size();
+  if (n > 0) {
+    data_ = new double[n]();
+    AllocTracker::Add(static_cast<size_t>(n) * sizeof(double));
+  }
+}
+
+void Matrix::Release() {
+  if (data_ != nullptr) {
+    AllocTracker::Remove(static_cast<size_t>(size()) * sizeof(double));
+    delete[] data_;
+    data_ = nullptr;
+  }
+  rows_ = 0;
+  cols_ = 0;
+}
+
+Matrix::Matrix(int rows, int cols) { Allocate(rows, cols); }
+
+Matrix::Matrix(const Matrix& other) {
+  Allocate(other.rows_, other.cols_);
+  if (size() > 0) std::memcpy(data_, other.data_, size() * sizeof(double));
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  Release();
+  Allocate(other.rows_, other.cols_);
+  if (size() > 0) std::memcpy(data_, other.data_, size() * sizeof(double));
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+  return *this;
+}
+
+Matrix::~Matrix() { Release(); }
+
+Matrix Matrix::Constant(int rows, int cols, double value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Gaussian(int rows, int cols, double stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data_[i] = rng->Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    AHG_CHECK_EQ(static_cast<int>(rows[r].size()), m.cols());
+    std::copy(rows[r].begin(), rows[r].end(), m.Row(r));
+  }
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_, data_ + size(), value);
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  AHG_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AxpyInPlace(double alpha, const Matrix& other) {
+  AHG_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::ScaleInPlace(double alpha) {
+  for (int64_t i = 0; i < size(); ++i) data_[i] *= alpha;
+}
+
+int Matrix::ArgMaxRow(int r) const {
+  AHG_CHECK(r >= 0 && r < rows_ && cols_ > 0);
+  const double* row = Row(r);
+  int best = 0;
+  for (int c = 1; c < cols_; ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (int64_t i = 0; i < size(); ++i) total += data_[i];
+  return total;
+}
+
+double Matrix::SquaredNorm() const {
+  double total = 0.0;
+  for (int64_t i = 0; i < size(); ++i) total += data_[i] * data_[i];
+  return total;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  AHG_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through rows of b for cache friendliness.
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  AHG_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.Row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  AHG_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.Row(j);
+      double dot = 0.0;
+      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.AddInPlace(b);
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.AxpyInPlace(-1.0, b);
+  return c;
+}
+
+Matrix CWiseMul(const Matrix& a, const Matrix& b) {
+  AHG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double alpha) {
+  Matrix c = a;
+  c.ScaleInPlace(alpha);
+  return c;
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* in = a.Row(r);
+    double* dst = out.Row(r);
+    double max_val = in[0];
+    for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
+    double total = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      dst[c] = std::exp(in[c] - max_val);
+      total += dst[c];
+    }
+    for (int c = 0; c < a.cols(); ++c) dst[c] /= total;
+  }
+  return out;
+}
+
+Matrix RowLogSoftmax(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* in = a.Row(r);
+    double* dst = out.Row(r);
+    double max_val = in[0];
+    for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
+    double total = 0.0;
+    for (int c = 0; c < a.cols(); ++c) total += std::exp(in[c] - max_val);
+    const double log_total = std::log(total) + max_val;
+    for (int c = 0; c < a.cols(); ++c) dst[c] = in[c] - log_total;
+  }
+  return out;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ahg

@@ -1,0 +1,107 @@
+// Dense row-major matrix of doubles plus the BLAS-like kernels the autodiff
+// engine is built on. All allocations are reported to AllocTracker so the
+// runtime bench can reproduce the paper's peak-memory columns.
+#ifndef AUTOHENS_TENSOR_MATRIX_H_
+#define AUTOHENS_TENSOR_MATRIX_H_
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ahg {
+
+class Rng;
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  // Zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Constant(int rows, int cols, double value);
+  static Matrix Identity(int n);
+  // Entries drawn i.i.d. N(0, stddev^2).
+  static Matrix Gaussian(int rows, int cols, double stddev, Rng* rng);
+  // Builds a matrix from an explicit row-major initializer (for tests).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(int r, int c) {
+    AHG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<int64_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    AHG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<int64_t>(r) * cols_ + c];
+  }
+
+  double* Row(int r) { return data_ + static_cast<int64_t>(r) * cols_; }
+  const double* Row(int r) const {
+    return data_ + static_cast<int64_t>(r) * cols_;
+  }
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+
+  void Fill(double value);
+  void SetZero() { Fill(0.0); }
+
+  // this += other (shapes must match).
+  void AddInPlace(const Matrix& other);
+  // this += alpha * other.
+  void AxpyInPlace(double alpha, const Matrix& other);
+  // this *= alpha.
+  void ScaleInPlace(double alpha);
+
+  // Column index of the max entry in row r (ties -> lowest index).
+  int ArgMaxRow(int r) const;
+
+  // Sum of all entries.
+  double Sum() const;
+  // Frobenius-norm squared.
+  double SquaredNorm() const;
+
+ private:
+  void Allocate(int rows, int cols);
+  void Release();
+
+  int rows_ = 0;
+  int cols_ = 0;
+  double* data_ = nullptr;
+};
+
+// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+// C = A^T * B.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+// C = A * B^T.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix CWiseMul(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, double alpha);
+
+// Row-wise softmax (numerically stabilized).
+Matrix RowSoftmax(const Matrix& a);
+// Row-wise log-softmax (numerically stabilized).
+Matrix RowLogSoftmax(const Matrix& a);
+
+// True when max |a - b| <= tol.
+bool AllClose(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_TENSOR_MATRIX_H_

@@ -1,0 +1,98 @@
+#include "tensor/sparse_matrix.h"
+
+#include <algorithm>
+
+namespace ahg {
+
+SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
+                                   std::vector<CooEntry> entries) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size();) {
+    const CooEntry& e = entries[i];
+    AHG_CHECK(e.row >= 0 && e.row < rows && e.col >= 0 && e.col < cols);
+    double value = 0.0;
+    size_t j = i;
+    // Merge duplicates of the same coordinate.
+    while (j < entries.size() && entries[j].row == e.row &&
+           entries[j].col == e.col) {
+      value += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(e.col);
+    m.values_.push_back(value);
+    m.row_ptr_[e.row + 1] += 1;
+    i = j;
+  }
+  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+Matrix SparseMatrix::Spmm(const Matrix& x) const {
+  AHG_CHECK_EQ(x.rows(), cols_);
+  Matrix y(rows_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    double* yrow = y.Row(r);
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      const double* xrow = x.Row(col_idx_[i]);
+      for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::SpmmTransposed(const Matrix& x) const {
+  AHG_CHECK_EQ(x.rows(), rows_);
+  Matrix y(cols_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    const double* xrow = x.Row(r);
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      double* yrow = y.Row(col_idx_[i]);
+      for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(nnz());
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      entries.push_back({col_idx_[i], r, values_[i]});
+    }
+  }
+  return FromCoo(cols_, rows_, std::move(entries));
+}
+
+std::vector<double> SparseMatrix::RowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      sums[r] += values_[i];
+    }
+  }
+  return sums;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix d(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      d(r, col_idx_[i]) += values_[i];
+    }
+  }
+  return d;
+}
+
+}  // namespace ahg

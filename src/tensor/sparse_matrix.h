@@ -1,0 +1,68 @@
+// Compressed-sparse-row matrix for graph adjacency.
+//
+// Adjacency matrices are constants during training, so SparseMatrix carries
+// no gradient machinery; autodiff ops treat it as fixed structure and only
+// differentiate through the dense operand of SpMM.
+#ifndef AUTOHENS_TENSOR_SPARSE_MATRIX_H_
+#define AUTOHENS_TENSOR_SPARSE_MATRIX_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ahg {
+
+// One (row, col, value) entry used when assembling a SparseMatrix.
+struct CooEntry {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  // Builds CSR from coordinate entries; duplicate (row, col) pairs are summed.
+  static SparseMatrix FromCoo(int rows, int cols,
+                              std::vector<CooEntry> entries);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  // CSR accessors: row r's entries occupy [row_ptr()[r], row_ptr()[r + 1]).
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>* mutable_values() { return &values_; }
+
+  // Y = this * X (dense). X.rows() must equal cols().
+  Matrix Spmm(const Matrix& x) const;
+
+  // Y = this^T * X (dense). X.rows() must equal rows().
+  Matrix SpmmTransposed(const Matrix& x) const;
+
+  // Explicit transpose as a new CSR matrix.
+  SparseMatrix Transposed() const;
+
+  // Per-row sum of values (weighted out-degree for adjacency).
+  std::vector<double> RowSums() const;
+
+  // Number of stored entries in row r.
+  int64_t RowNnz(int r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  // Densifies (tests and tiny graphs only).
+  Matrix ToDense() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_TENSOR_SPARSE_MATRIX_H_

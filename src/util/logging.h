@@ -1,0 +1,76 @@
+// CHECK macros and a minimal leveled logger.
+//
+// AHG_CHECK* abort the process with a source location; they guard internal
+// invariants (shape mismatches, index bounds) that indicate programmer error
+// rather than bad user input.
+#ifndef AUTOHENS_UTIL_LOGGING_H_
+#define AUTOHENS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ahg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level emitted by LogMessage; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+// Aborts the process after printing `message` with file/line context.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace log_internal {
+
+// Accumulates a log line via operator<< and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace ahg
+
+#define AHG_LOG(level) \
+  ::ahg::log_internal::LogLine(::ahg::LogLevel::k##level)
+
+#define AHG_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::ahg::CheckFailed(__FILE__, __LINE__, #cond, "");           \
+    }                                                              \
+  } while (0)
+
+#define AHG_CHECK_MSG(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::ostringstream ahg_check_stream_;                        \
+      ahg_check_stream_ << msg;                                    \
+      ::ahg::CheckFailed(__FILE__, __LINE__, #cond,                \
+                         ahg_check_stream_.str());                 \
+    }                                                              \
+  } while (0)
+
+#define AHG_CHECK_EQ(a, b) AHG_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define AHG_CHECK_NE(a, b) AHG_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define AHG_CHECK_LT(a, b) AHG_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define AHG_CHECK_LE(a, b) AHG_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define AHG_CHECK_GT(a, b) AHG_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define AHG_CHECK_GE(a, b) AHG_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
+#endif  // AUTOHENS_UTIL_LOGGING_H_

@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (weight init, dropout, dataset
+// generation, splits, sampling) draws from an explicitly seeded Rng so that
+// experiments are reproducible bit-for-bit on a given platform.
+#ifndef AUTOHENS_UTIL_RNG_H_
+#define AUTOHENS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ahg {
+
+// xoshiro256** generator seeded via splitmix64. Not thread-safe; use one
+// instance per thread (Fork() derives an independent stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  // Standard normal via Box-Muller.
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Derives an independent generator; deterministic given this Rng's state.
+  Rng Fork();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int64_t i = static_cast<int64_t>(values->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  // Returns k distinct indices sampled uniformly from [0, n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_UTIL_RNG_H_

@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit exists so the target always has a
+// definition home if non-inline helpers are added later.

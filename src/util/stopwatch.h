@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the runtime-statistics benches (Table VI,
+// Figure 8) and by the time-budget guard in the end-to-end driver.
+#ifndef AUTOHENS_UTIL_STOPWATCH_H_
+#define AUTOHENS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ahg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_UTIL_STOPWATCH_H_

@@ -1,0 +1,25 @@
+// Small string helpers shared by the dataset IO layer and bench printers.
+#ifndef AUTOHENS_UTIL_STRING_UTIL_H_
+#define AUTOHENS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace ahg {
+
+// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char delim);
+
+// Removes leading/trailing whitespace.
+std::string StrTrim(const std::string& text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// "12.3%" / "4.7x"-style fixed-precision float rendering.
+std::string FormatFloat(double value, int precision);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,53 @@
+// Fixed-size worker pool used for parallel proxy evaluation (Section III-B of
+// the paper: candidate models are small enough after proxying to evaluate in
+// parallel). On a single-core host the pool degrades gracefully to one worker.
+#ifndef AUTOHENS_UTIL_THREAD_POOL_H_
+#define AUTOHENS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ahg {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  // Enqueues a task; tasks run in FIFO order across workers.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [0, n), distributing across `num_threads` workers.
+// With num_threads <= 1 runs inline (deterministic order).
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn);
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_UTIL_THREAD_POOL_H_

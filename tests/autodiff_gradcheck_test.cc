@@ -1,0 +1,239 @@
+// Finite-difference verification of every dense autodiff op. A named
+// parameterized suite sweeps the unary ops; structured ops get dedicated
+// cases.
+#include <functional>
+#include <string>
+
+#include "autodiff/ops.h"
+#include "gtest/gtest.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+using ::ahg::testing::ExpectGradientsMatch;
+
+Matrix RandomMatrix(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Gaussian(r, c, 1.0, &rng);
+}
+
+struct UnaryCase {
+  std::string name;
+  std::function<Var(const Var&)> op;
+  bool smooth_input = false;  // shift inputs away from kinks
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradTest, MatchesFiniteDifferences) {
+  const UnaryCase& tc = GetParam();
+  Matrix init = RandomMatrix(3, 4, 42);
+  if (tc.smooth_input) {
+    // Push values away from non-differentiable points (0 for relu-family).
+    for (int64_t i = 0; i < init.size(); ++i) {
+      if (std::abs(init.data()[i]) < 0.05) init.data()[i] += 0.1;
+    }
+  }
+  Var p = MakeParam(init);
+  ExpectGradientsMatch([&] { return SumAll(CWiseMul(tc.op(p), tc.op(p))); },
+                       {p});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryGradTest,
+    ::testing::Values(
+        UnaryCase{"Relu", [](const Var& x) { return Relu(x); }, true},
+        UnaryCase{"LeakyRelu",
+                  [](const Var& x) { return LeakyRelu(x, 0.2); }, true},
+        UnaryCase{"Elu", [](const Var& x) { return Elu(x); }, true},
+        UnaryCase{"Tanh", [](const Var& x) { return Tanh(x); }, false},
+        UnaryCase{"Sigmoid", [](const Var& x) { return Sigmoid(x); }, false},
+        UnaryCase{"RowSoftmax",
+                  [](const Var& x) { return RowSoftmaxOp(x); }, false},
+        UnaryCase{"RowLogSoftmax",
+                  [](const Var& x) { return RowLogSoftmaxOp(x); }, false},
+        UnaryCase{"ScalarMul",
+                  [](const Var& x) { return ScalarMul(x, -1.7); }, false}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheckTest, MatMulBothOperands) {
+  Var a = MakeParam(RandomMatrix(3, 4, 1));
+  Var b = MakeParam(RandomMatrix(4, 2, 2));
+  ExpectGradientsMatch(
+      [&] { return SumAll(CWiseMul(MatMul(a, b), MatMul(a, b))); }, {a, b});
+}
+
+TEST(GradCheckTest, AddSubCWiseMul) {
+  Var a = MakeParam(RandomMatrix(2, 3, 3));
+  Var b = MakeParam(RandomMatrix(2, 3, 4));
+  ExpectGradientsMatch(
+      [&] { return SumAll(CWiseMul(Add(a, b), Sub(a, b))); }, {a, b});
+}
+
+TEST(GradCheckTest, AddRowVector) {
+  Var m = MakeParam(RandomMatrix(3, 4, 5));
+  Var bias = MakeParam(RandomMatrix(1, 4, 6));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = AddRowVector(m, bias);
+        return SumAll(CWiseMul(y, y));
+      },
+      {m, bias});
+}
+
+TEST(GradCheckTest, AddNSharedTerm) {
+  Var a = MakeParam(RandomMatrix(2, 2, 7));
+  Var b = MakeParam(RandomMatrix(2, 2, 8));
+  ExpectGradientsMatch(
+      [&] {
+        Var s = AddN({a, b, a});  // a participates twice
+        return SumAll(CWiseMul(s, s));
+      },
+      {a, b});
+}
+
+TEST(GradCheckTest, MeanOfVars) {
+  Var a = MakeParam(RandomMatrix(2, 2, 9));
+  Var b = MakeParam(RandomMatrix(2, 2, 10));
+  Var c = MakeParam(RandomMatrix(2, 2, 11));
+  ExpectGradientsMatch(
+      [&] {
+        Var m = MeanOfVars({a, b, c});
+        return SumAll(CWiseMul(m, m));
+      },
+      {a, b, c});
+}
+
+TEST(GradCheckTest, DropoutWithFixedMask) {
+  Var p = MakeParam(RandomMatrix(3, 3, 12));
+  ExpectGradientsMatch(
+      [&] {
+        Rng rng(99);  // fresh identical mask on every forward
+        Var y = Dropout(p, 0.4, /*training=*/true, &rng);
+        return SumAll(CWiseMul(y, y));
+      },
+      {p});
+}
+
+TEST(GradCheckTest, ConcatCols) {
+  Var a = MakeParam(RandomMatrix(3, 2, 13));
+  Var b = MakeParam(RandomMatrix(3, 3, 14));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = ConcatCols({a, b});
+        return SumAll(CWiseMul(y, y));
+      },
+      {a, b});
+}
+
+TEST(GradCheckTest, GatherRowsWithRepeats) {
+  Var a = MakeParam(RandomMatrix(4, 3, 15));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = GatherRows(a, {1, 1, 3, 0});  // row 1 gathered twice
+        return SumAll(CWiseMul(y, y));
+      },
+      {a});
+}
+
+TEST(GradCheckTest, RowDot) {
+  Var a = MakeParam(RandomMatrix(4, 3, 16));
+  Var b = MakeParam(RandomMatrix(4, 3, 17));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = RowDot(a, b);
+        return SumAll(CWiseMul(y, y));
+      },
+      {a, b});
+}
+
+TEST(GradCheckTest, ScaleByEntry) {
+  Var m = MakeParam(RandomMatrix(3, 3, 18));
+  Var w = MakeParam(RandomMatrix(1, 4, 19));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = ScaleByEntry(m, w, 2);
+        return SumAll(CWiseMul(y, y));
+      },
+      {m, w});
+}
+
+TEST(GradCheckTest, SoftmaxWeightedSum) {
+  Var t1 = MakeParam(RandomMatrix(3, 2, 20));
+  Var t2 = MakeParam(RandomMatrix(3, 2, 21));
+  Var t3 = MakeParam(RandomMatrix(3, 2, 22));
+  Var alpha = MakeParam(RandomMatrix(1, 3, 23));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = SoftmaxWeightedSum({t1, t2, t3}, alpha);
+        return SumAll(CWiseMul(y, y));
+      },
+      {t1, t2, t3, alpha});
+}
+
+TEST(GradCheckTest, CWiseMax) {
+  Matrix ma = RandomMatrix(3, 3, 24);
+  Matrix mb = RandomMatrix(3, 3, 25);
+  // Separate the operands so no entry sits at the tie kink.
+  for (int64_t i = 0; i < ma.size(); ++i) {
+    if (std::abs(ma.data()[i] - mb.data()[i]) < 0.05) mb.data()[i] += 0.2;
+  }
+  Var a = MakeParam(ma);
+  Var b = MakeParam(mb);
+  ExpectGradientsMatch(
+      [&] {
+        Var y = CWiseMax(a, b);
+        return SumAll(CWiseMul(y, y));
+      },
+      {a, b});
+}
+
+TEST(GradCheckTest, MulColBroadcast) {
+  Var m = MakeParam(RandomMatrix(4, 3, 26));
+  Var col = MakeParam(RandomMatrix(4, 1, 27));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = MulColBroadcast(m, col);
+        return SumAll(CWiseMul(y, y));
+      },
+      {m, col});
+}
+
+TEST(GradCheckTest, MaskedCrossEntropy) {
+  Var logits = MakeParam(RandomMatrix(5, 3, 28));
+  const std::vector<int> labels{0, 2, 1, 0, 2};
+  ExpectGradientsMatch(
+      [&] { return MaskedCrossEntropy(logits, labels, {0, 2, 4}); }, {logits});
+}
+
+TEST(GradCheckTest, MaskedNllFromProbs) {
+  // Probabilities strictly inside (0, 1) keep the clamp inactive.
+  Matrix probs(4, 3);
+  Rng rng(29);
+  for (int r = 0; r < 4; ++r) {
+    double total = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      probs(r, c) = 0.2 + rng.Uniform();
+      total += probs(r, c);
+    }
+    for (int c = 0; c < 3; ++c) probs(r, c) /= total;
+  }
+  Var p = MakeParam(probs);
+  const std::vector<int> labels{1, 0, 2, 1};
+  ExpectGradientsMatch(
+      [&] { return MaskedNllFromProbs(p, labels, {0, 1, 3}); }, {p});
+}
+
+TEST(GradCheckTest, BceWithLogits) {
+  Var logits = MakeParam(RandomMatrix(6, 1, 30));
+  const std::vector<double> targets{1, 0, 1, 1, 0, 0};
+  ExpectGradientsMatch([&] { return BceWithLogits(logits, targets); },
+                       {logits});
+}
+
+}  // namespace
+}  // namespace ahg

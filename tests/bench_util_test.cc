@@ -1,0 +1,114 @@
+// Tests for the bench harness utilities (bench/common): table rendering,
+// bagged single-model training, proxy-pool selection and score formatting.
+#include "common/bench_util.h"
+
+#include <set>
+
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace ahg::bench {
+namespace {
+
+TEST(FastModeTest, DetectsFlag) {
+  const char* with_flag[] = {"prog", "--fast"};
+  const char* without[] = {"prog", "--other"};
+  EXPECT_TRUE(FastMode(2, const_cast<char**>(with_flag)));
+  EXPECT_FALSE(FastMode(2, const_cast<char**>(without)));
+  EXPECT_FALSE(FastMode(1, const_cast<char**>(without)));
+}
+
+TEST(MeanStdCellTest, FormatsPercent) {
+  EXPECT_EQ(MeanStdCell({0.85, 0.87}), "86.0±1.4");
+  EXPECT_EQ(MeanStdCell({0.5}), "50.0±0.0");
+}
+
+TEST(PaperSingleRosterTest, HasNineNamedRows) {
+  std::vector<CandidateSpec> roster = PaperSingleRoster();
+  EXPECT_EQ(roster.size(), 9u);
+  EXPECT_EQ(roster.front().name, "GCN");
+  EXPECT_EQ(roster.back().name, "GCNII");
+}
+
+TEST(TrainSinglesTest, ProducesOneRunPerSpec) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 8;
+  cfg.homophily = 0.9;
+  cfg.seed = 2;
+  Graph g = GenerateSbmGraph(cfg);
+  Rng rng(3);
+  DataSplit split = RandomSplit(g, 0.5, 0.2, &rng);
+  TrainConfig train;
+  train.max_epochs = 10;
+  train.patience = 5;
+  std::vector<CandidateSpec> specs{FindCandidate("GCN"),
+                                   FindCandidate("SGC")};
+  std::vector<SingleRun> runs =
+      TrainSingles(g, specs, split, /*bagging=*/2, 0.2, train, 7);
+  ASSERT_EQ(runs.size(), 2u);
+  for (const SingleRun& run : runs) {
+    EXPECT_EQ(run.bagged_probs.rows(), g.num_nodes());
+    EXPECT_GT(run.val_accuracy, 0.0);
+    EXPECT_GT(run.test_accuracy, 0.3);
+  }
+  EXPECT_EQ(runs[0].name, "GCN");
+}
+
+TEST(PoolByProxyEvalTest, ReturnsRequestedCountOfValidIndices) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 8;
+  cfg.seed = 4;
+  Graph g = GenerateSbmGraph(cfg);
+  TrainConfig train;
+  train.max_epochs = 8;
+  std::vector<CandidateSpec> specs{FindCandidate("GCN"),
+                                   FindCandidate("SGC"),
+                                   FindCandidate("TAGC")};
+  std::vector<int> pool = PoolByProxyEval(g, specs, 2, train, 5);
+  ASSERT_EQ(pool.size(), 2u);
+  for (int idx : pool) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
+  EXPECT_NE(pool[0], pool[1]);
+}
+
+TEST(RunNodeRosterTest, EmitsExpectedMethodRows) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 130;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 8;
+  cfg.homophily = 0.9;
+  cfg.seed = 6;
+  Graph g = GenerateSbmGraph(cfg);
+  RosterOptions options;
+  options.repeats = 1;
+  options.bagging = 1;
+  options.train.max_epochs = 8;
+  options.train.patience = 4;
+  options.singles = {FindCandidate("GCN"), FindCandidate("SGC")};
+  options.pool_n = 2;
+  options.k = 1;
+  options.run_random_ensemble = true;
+  options.run_label_prop = true;
+  options.run_correct_smooth = true;
+  std::vector<MethodScores> results = RunNodeRoster(g, options);
+  std::set<std::string> methods;
+  for (const MethodScores& m : results) {
+    methods.insert(m.method);
+    EXPECT_EQ(m.test_accs.size(), 1u);
+  }
+  for (const char* expected :
+       {"GCN", "SGC", "Random Ensemble", "D-ensemble", "L-ensemble",
+        "Goyal et al.", "LabelProp", "Best single + C&S",
+        "AutoHEnsGNN(Adaptive)", "AutoHEnsGNN(Gradient)"}) {
+    EXPECT_TRUE(methods.count(expected)) << expected;
+  }
+}
+
+}  // namespace
+}  // namespace ahg::bench

@@ -1,0 +1,64 @@
+#include "metrics/classification_report.h"
+
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+TEST(ClassificationReportTest, PerfectPredictions) {
+  Matrix probs = Matrix::FromRows({{1, 0}, {0, 1}, {1, 0}});
+  ClassificationReport report =
+      BuildClassificationReport(probs, {0, 1, 0}, {0, 1, 2}, 2);
+  EXPECT_EQ(report.accuracy, 1.0);
+  EXPECT_EQ(report.macro_f1, 1.0);
+  EXPECT_EQ(report.micro_f1, 1.0);
+  EXPECT_EQ(report.confusion(0, 0), 2.0);
+  EXPECT_EQ(report.confusion(1, 1), 1.0);
+  EXPECT_EQ(report.confusion(0, 1), 0.0);
+  EXPECT_EQ(report.per_class[0].support, 2);
+  EXPECT_EQ(report.per_class[1].support, 1);
+}
+
+TEST(ClassificationReportTest, KnownConfusion) {
+  // truth:   0 1 1 0
+  // pred:    0 0 1 1
+  Matrix probs = Matrix::FromRows(
+      {{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}});
+  ClassificationReport report =
+      BuildClassificationReport(probs, {0, 1, 1, 0}, {0, 1, 2, 3}, 2);
+  EXPECT_NEAR(report.accuracy, 0.5, 1e-12);
+  // class 0: tp=1 fp=1 fn=1 -> P=0.5 R=0.5 F1=0.5; class 1 symmetric.
+  EXPECT_NEAR(report.per_class[0].precision, 0.5, 1e-12);
+  EXPECT_NEAR(report.per_class[0].recall, 0.5, 1e-12);
+  EXPECT_NEAR(report.per_class[1].f1, 0.5, 1e-12);
+  EXPECT_NEAR(report.macro_f1, 0.5, 1e-12);
+  EXPECT_EQ(report.confusion(1, 0), 1.0);
+}
+
+TEST(ClassificationReportTest, AbsentClassHasZeroSupportAndIsSkipped) {
+  Matrix probs = Matrix::FromRows({{1, 0, 0}, {1, 0, 0}});
+  ClassificationReport report =
+      BuildClassificationReport(probs, {0, 0}, {0, 1}, 3);
+  EXPECT_EQ(report.per_class[2].support, 0);
+  EXPECT_NEAR(report.macro_f1, 1.0, 1e-12);  // only class 0 has support
+}
+
+TEST(ClassificationReportTest, FormatContainsHeadline) {
+  Matrix probs = Matrix::FromRows({{1, 0}});
+  ClassificationReport report =
+      BuildClassificationReport(probs, {0}, {0}, 2);
+  const std::string text = FormatClassificationReport(report);
+  EXPECT_NE(text.find("accuracy: 1.000"), std::string::npos);
+  EXPECT_NE(text.find("precision"), std::string::npos);
+}
+
+TEST(ClassificationReportTest, MicroF1EqualsAccuracy) {
+  Matrix probs = Matrix::FromRows(
+      {{0.6, 0.4}, {0.3, 0.7}, {0.8, 0.2}, {0.1, 0.9}});
+  ClassificationReport report =
+      BuildClassificationReport(probs, {1, 1, 0, 0}, {0, 1, 2, 3}, 2);
+  EXPECT_NEAR(report.micro_f1, report.accuracy, 1e-12);
+}
+
+}  // namespace
+}  // namespace ahg

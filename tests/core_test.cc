@@ -1,0 +1,305 @@
+// Tests of the paper's core machinery: GSE, proxy evaluation, both search
+// algorithms, the hierarchical retraining stage, and the adaptive-beta rule.
+#include <numeric>
+
+#include "core/autohens.h"
+#include "core/gse.h"
+#include "core/hierarchical.h"
+#include "core/proxy_eval.h"
+#include "core/search_adaptive.h"
+#include "core/search_gradient.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+const Graph& TestGraph() {
+  static const Graph* graph = [] {
+    SyntheticConfig cfg;
+    cfg.num_nodes = 150;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 10;
+    cfg.avg_degree = 5.0;
+    cfg.homophily = 0.88;
+    cfg.feature_signal = 1.0;
+    cfg.seed = 21;
+    return new Graph(GenerateSbmGraph(cfg));
+  }();
+  return *graph;
+}
+
+DataSplit TestSplit() {
+  Rng rng(22);
+  return RandomSplit(TestGraph(), 0.5, 0.2, &rng);
+}
+
+ModelConfig TinyConfig(ModelFamily family) {
+  ModelConfig cfg;
+  cfg.family = family;
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 3;
+  cfg.dropout = 0.2;
+  return cfg;
+}
+
+TrainConfig FastTrain() {
+  TrainConfig cfg;
+  cfg.max_epochs = 40;
+  cfg.patience = 8;
+  cfg.learning_rate = 2e-2;
+  return cfg;
+}
+
+std::vector<CandidateSpec> TinyPool() {
+  std::vector<CandidateSpec> pool;
+  pool.push_back({"GCN", TinyConfig(ModelFamily::kGcn)});
+  pool.push_back({"SGC", TinyConfig(ModelFamily::kSgc)});
+  return pool;
+}
+
+TEST(GseTest, ProbsAreRowStochastic) {
+  GraphSelfEnsemble gse(TinyConfig(ModelFamily::kGcn), /*k=*/3,
+                        TestGraph().feature_dim(), TestGraph().num_classes(),
+                        /*seed_base=*/5, /*trainable_alpha=*/true);
+  GnnContext ctx{&TestGraph(), false, nullptr};
+  Var probs = gse.Probs(ctx, MakeConstant(TestGraph().features()));
+  EXPECT_EQ(probs->rows(), TestGraph().num_nodes());
+  EXPECT_EQ(probs->cols(), TestGraph().num_classes());
+  for (int r = 0; r < probs->rows(); ++r) {
+    double total = 0.0;
+    for (int c = 0; c < probs->cols(); ++c) {
+      EXPECT_GE(probs->value(r, c), 0.0);
+      total += probs->value(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GseTest, AlphaParamsExposedOnlyWhenTrainable) {
+  GraphSelfEnsemble trainable(TinyConfig(ModelFamily::kGcn), 3, 10, 3, 1,
+                              /*trainable_alpha=*/true);
+  EXPECT_EQ(trainable.AlphaParams().size(), 3u);
+  GraphSelfEnsemble fixed(TinyConfig(ModelFamily::kGcn), 3, 10, 3, 1,
+                          /*trainable_alpha=*/false);
+  EXPECT_TRUE(fixed.AlphaParams().empty());
+  // Fixed mode defaults to the deepest layer.
+  EXPECT_EQ(fixed.SelectedLayers(), (std::vector<int>{3, 3, 3}));
+}
+
+TEST(GseTest, SetFixedLayersOverridesAlpha) {
+  GraphSelfEnsemble gse(TinyConfig(ModelFamily::kGcn), 3, 10, 3, 1,
+                        /*trainable_alpha=*/true);
+  gse.SetFixedLayers({1, 2, 3});
+  EXPECT_EQ(gse.SelectedLayers(), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(gse.AlphaParams().empty());
+}
+
+TEST(GseTest, WeightParamsCoverAllMembers) {
+  GraphSelfEnsemble gse(TinyConfig(ModelFamily::kGcn), 2, 10, 3, 1, true);
+  // Two members, each: 3 GCN layers (W+b each) + head (W+b) = 8 params.
+  EXPECT_EQ(gse.WeightParams().size(), 16u);
+}
+
+TEST(ProxyEvalTest, RanksAllCandidatesDescending) {
+  ProxyConfig pcfg;
+  pcfg.dataset_ratio = 0.6;
+  pcfg.bagging = 2;
+  pcfg.model_ratio = 0.5;
+  pcfg.train = FastTrain();
+  pcfg.train.max_epochs = 25;
+  ProxyEvalResult result =
+      ProxyEvaluate(TinyPool(), TestGraph(), pcfg, /*seed=*/3);
+  ASSERT_EQ(result.ranked.size(), 2u);
+  EXPECT_GE(result.ranked[0].mean_val_accuracy,
+            result.ranked[1].mean_val_accuracy);
+  EXPECT_GT(result.total_seconds, 0.0);
+  // Proxy hidden size applied.
+  EXPECT_EQ(result.ranked[0].config.hidden_dim, 6);
+  EXPECT_EQ(result.ranked[0].original_config.hidden_dim, 12);
+}
+
+TEST(ProxyEvalTest, SelectTopRestoresOriginalConfig) {
+  ProxyConfig pcfg;
+  pcfg.dataset_ratio = 0.5;
+  pcfg.bagging = 1;
+  pcfg.train = FastTrain();
+  pcfg.train.max_epochs = 15;
+  ProxyEvalResult result =
+      ProxyEvaluate(TinyPool(), TestGraph(), pcfg, /*seed=*/4);
+  std::vector<CandidateSpec> top = SelectTopCandidates(result, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].config.hidden_dim, 12);
+}
+
+TEST(ProxyEvalTest, FullRatioUsesWholeGraph) {
+  ProxyConfig pcfg;
+  pcfg.dataset_ratio = 1.0;
+  pcfg.bagging = 1;
+  pcfg.model_ratio = 1.0;
+  pcfg.train = FastTrain();
+  pcfg.train.max_epochs = 10;
+  // Just exercises the ratio >= 1 path.
+  ProxyEvalResult result =
+      ProxyEvaluate(TinyPool(), TestGraph(), pcfg, /*seed=*/5);
+  EXPECT_EQ(result.ranked.size(), 2u);
+}
+
+TEST(AdaptiveBetaTest, HigherAccuracyGetsHigherWeight) {
+  std::vector<double> beta = AdaptiveBeta({0.9, 0.6, 0.3}, 3.0, 3, 8000, 5);
+  EXPECT_GT(beta[0], beta[1]);
+  EXPECT_GT(beta[1], beta[2]);
+  EXPECT_NEAR(std::accumulate(beta.begin(), beta.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(AdaptiveBetaTest, SparserGraphSharpensDistribution) {
+  // Smaller average degree -> smaller tau -> sharper softmax.
+  std::vector<double> sparse = AdaptiveBeta({0.9, 0.3}, 1.0, 3, 100, 5);
+  std::vector<double> dense = AdaptiveBeta({0.9, 0.3}, 50.0, 3, 100, 5);
+  EXPECT_GT(sparse[0], dense[0]);
+}
+
+TEST(AdaptiveBetaTest, EqualAccuraciesGiveUniform) {
+  std::vector<double> beta = AdaptiveBeta({0.7, 0.7, 0.7}, 3.0, 3, 8000, 5);
+  for (double b : beta) EXPECT_NEAR(b, 1.0 / 3.0, 1e-9);
+}
+
+TEST(SearchAdaptiveTest, ProducesValidLayersAndBeta) {
+  AdaptiveSearchConfig cfg;
+  cfg.k = 2;
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 20;
+  cfg.seed = 6;
+  AdaptiveSearchResult result =
+      SearchAdaptive(TinyPool(), TestGraph(), TestSplit(), cfg);
+  ASSERT_EQ(result.layers.size(), 2u);
+  for (const auto& member_layers : result.layers) {
+    ASSERT_EQ(member_layers.size(), 2u);
+    for (int layer : member_layers) {
+      EXPECT_GE(layer, 1);
+      EXPECT_LE(layer, 3);
+    }
+  }
+  EXPECT_NEAR(std::accumulate(result.beta.begin(), result.beta.end(), 0.0),
+              1.0, 1e-9);
+  EXPECT_GT(result.search_seconds, 0.0);
+}
+
+TEST(SearchGradientTest, ProducesValidLayersAndBeta) {
+  GradientSearchConfig cfg;
+  cfg.k = 2;
+  cfg.max_epochs = 15;
+  cfg.patience = 5;
+  cfg.train = FastTrain();
+  cfg.seed = 7;
+  GradientSearchResult result =
+      SearchGradient(TinyPool(), TestGraph(), TestSplit(), cfg);
+  ASSERT_EQ(result.layers.size(), 2u);
+  for (const auto& member_layers : result.layers) {
+    ASSERT_EQ(member_layers.size(), 2u);
+    for (int layer : member_layers) {
+      EXPECT_GE(layer, 1);
+      EXPECT_LE(layer, 3);
+    }
+  }
+  EXPECT_NEAR(std::accumulate(result.beta.begin(), result.beta.end(), 0.0),
+              1.0, 1e-9);
+  EXPECT_GT(result.val_accuracy, 0.4);  // co-trained ensemble learns
+}
+
+TEST(HierarchicalTest, CombinedProbsAreRowStochastic) {
+  HierarchicalResult result = TrainHierarchicalEnsemble(
+      TinyPool(), {{2, 3}, {1, 2}}, {0.6, 0.4}, TestGraph(), TestSplit(),
+      FastTrain(), /*seed=*/8);
+  EXPECT_EQ(result.per_model_probs.size(), 2u);
+  for (int r = 0; r < result.probs.rows(); ++r) {
+    double total = 0.0;
+    for (int c = 0; c < result.probs.cols(); ++c) {
+      total += result.probs(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  EXPECT_GT(result.val_accuracy, 0.6);
+}
+
+TEST(HierarchicalTest, GseReducesToSingleArchitecture) {
+  CandidateSpec spec{"GCN", TinyConfig(ModelFamily::kGcn)};
+  HierarchicalResult result = TrainGse(spec, {2, 2, 3}, TestGraph(),
+                                       TestSplit(), FastTrain(), /*seed=*/9);
+  EXPECT_EQ(result.per_model_probs.size(), 1u);
+  EXPECT_GT(result.val_accuracy, 0.6);
+}
+
+class AutoHEnsAlgoTest : public ::testing::TestWithParam<SearchAlgo> {};
+
+TEST_P(AutoHEnsAlgoTest, EndToEndRunsAndLearns) {
+  AutoHEnsConfig cfg;
+  cfg.pool_size = 2;
+  cfg.k = 2;
+  cfg.algo = GetParam();
+  cfg.proxy.dataset_ratio = 0.6;
+  cfg.proxy.bagging = 1;
+  cfg.proxy.train = FastTrain();
+  cfg.proxy.train.max_epochs = 15;
+  cfg.gradient.max_epochs = 12;
+  cfg.train = FastTrain();
+  cfg.bagging_splits = 2;
+  cfg.seed = 10;
+  AutoHEnsResult result =
+      RunAutoHEnsGnn(TestGraph(), TestSplit(), TinyPool(), cfg);
+  EXPECT_EQ(result.pool_names.size(), 2u);
+  EXPECT_EQ(result.layers.size(), 2u);
+  EXPECT_EQ(result.beta.size(), 2u);
+  EXPECT_GT(result.test_accuracy, 0.6);
+  EXPECT_EQ(result.bagging_rounds_run, 2);
+  EXPECT_GT(result.selection_seconds, 0.0);
+  EXPECT_GT(result.search_seconds, 0.0);
+  EXPECT_GT(result.retrain_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAlgorithms, AutoHEnsAlgoTest,
+                         ::testing::Values(SearchAlgo::kGradient,
+                                           SearchAlgo::kAdaptive),
+                         [](const auto& info) {
+                           return info.param == SearchAlgo::kGradient
+                                      ? "Gradient"
+                                      : "Adaptive";
+                         });
+
+TEST(AutoHEnsTest, TimeBudgetShedsBaggingRounds) {
+  AutoHEnsConfig cfg;
+  cfg.pool_size = 1;
+  cfg.k = 1;
+  cfg.algo = SearchAlgo::kAdaptive;
+  cfg.fixed_pool = {TinyPool()[0]};  // skip proxy stage
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 10;
+  cfg.adaptive.train = cfg.train;
+  cfg.bagging_splits = 5;
+  cfg.time_budget_seconds = 1e-9;  // already exceeded after round one
+  cfg.seed = 11;
+  AutoHEnsResult result =
+      RunAutoHEnsGnn(TestGraph(), TestSplit(), {}, cfg);
+  EXPECT_EQ(result.bagging_rounds_run, 1);
+}
+
+TEST(AutoHEnsTest, FixedPoolSkipsSelection) {
+  AutoHEnsConfig cfg;
+  cfg.pool_size = 2;
+  cfg.k = 1;
+  cfg.algo = SearchAlgo::kAdaptive;
+  cfg.fixed_pool = TinyPool();
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 10;
+  cfg.adaptive.train = cfg.train;
+  cfg.bagging_splits = 1;
+  cfg.seed = 12;
+  AutoHEnsResult result =
+      RunAutoHEnsGnn(TestGraph(), TestSplit(), {}, cfg);
+  EXPECT_EQ(result.selection_seconds, 0.0);
+  EXPECT_EQ(result.pool_names,
+            (std::vector<std::string>{"GCN", "SGC"}));
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,140 @@
+// Edge cases and failure injection: degenerate graphs, single-element
+// ensembles, precondition violations (death tests), and boundary
+// configurations that production use will eventually hit.
+#include "autodiff/ops.h"
+#include "core/autohens.h"
+#include "core/gse.h"
+#include "core/search_adaptive.h"
+#include "ensemble/baselines.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "metrics/metrics.h"
+#include "tasks/train_node.h"
+
+namespace ahg {
+namespace {
+
+TEST(EdgeCaseTest, EdgelessGraphStillTrains) {
+  // Only self loops: GCN degenerates to an MLP but must not crash.
+  Rng feature_rng(1);
+  Matrix features = Matrix::Gaussian(40, 6, 1.0, &feature_rng);
+  std::vector<int> labels(40);
+  for (int i = 0; i < 40; ++i) labels[i] = i % 2;
+  Graph g = Graph::Create(40, {}, false, std::move(features),
+                          std::move(labels), 2);
+  Rng rng(2);
+  DataSplit split = RandomSplit(g, 0.5, 0.25, &rng);
+  ModelConfig mcfg;
+  mcfg.family = ModelFamily::kGcn;
+  mcfg.hidden_dim = 8;
+  mcfg.num_layers = 2;
+  mcfg.dropout = 0.0;
+  TrainConfig tcfg;
+  tcfg.max_epochs = 10;
+  NodeTrainResult result = TrainSingleNodeModel(mcfg, g, split, tcfg);
+  EXPECT_EQ(result.probs.rows(), 40);
+}
+
+TEST(EdgeCaseTest, SingleClassMajorityLabels) {
+  // Highly imbalanced labels: argmax accuracy still computes.
+  Matrix probs = Matrix::FromRows({{0.9, 0.1}, {0.8, 0.2}, {0.7, 0.3}});
+  EXPECT_NEAR(Accuracy(probs, {0, 0, 0}, {0, 1, 2}), 1.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, GseWithKOne) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.num_classes = 2;
+  cfg.feature_dim = 4;
+  cfg.seed = 3;
+  Graph g = GenerateSbmGraph(cfg);
+  ModelConfig mcfg;
+  mcfg.family = ModelFamily::kGcn;
+  mcfg.hidden_dim = 6;
+  mcfg.num_layers = 2;
+  mcfg.dropout = 0.0;
+  GraphSelfEnsemble gse(mcfg, /*k=*/1, g.feature_dim(), 2, 1, true);
+  GnnContext ctx{&g, false, nullptr};
+  Var probs = gse.Probs(ctx, MakeConstant(g.features()));
+  EXPECT_EQ(probs->rows(), 50);
+  EXPECT_EQ(gse.SelectedLayers().size(), 1u);
+}
+
+TEST(EdgeCaseTest, AdaptiveBetaSingleModelIsOne) {
+  std::vector<double> beta = AdaptiveBeta({0.5}, 3.0, 3, 8000, 5);
+  ASSERT_EQ(beta.size(), 1u);
+  EXPECT_NEAR(beta[0], 1.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, EnsembleOfOneModelIsIdentity) {
+  Matrix p = Matrix::FromRows({{0.2, 0.8}});
+  EXPECT_TRUE(AllClose(AverageProbs({p}), p, 1e-12));
+  EXPECT_TRUE(AllClose(WeightedProbs({p}, {1.0}), p, 1e-12));
+}
+
+TEST(EdgeCaseTest, SoftmaxWeightedSumSingleTerm) {
+  Var t = MakeConstant(Matrix::FromRows({{1.0, 2.0}}));
+  Var alpha = MakeParam(Matrix(1, 1));
+  Var out = SoftmaxWeightedSum({t}, alpha);
+  EXPECT_TRUE(AllClose(out->value, t->value, 1e-12));
+}
+
+TEST(EdgeCaseTest, GreedySelectWithSingleModel) {
+  Matrix p = Matrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  std::vector<int> selected = GreedyEnsembleSelect({p}, {0, 1}, {0, 1});
+  EXPECT_EQ(selected, (std::vector<int>{0}));
+}
+
+TEST(EdgeCaseTest, DropoutProbabilityZeroIsIdentityInTraining) {
+  Rng rng(4);
+  Var x = MakeParam(Matrix::FromRows({{1.0, 2.0}}));
+  Var y = Dropout(x, 0.0, /*training=*/true, &rng);
+  EXPECT_EQ(y.get(), x.get());
+}
+
+// --- failure injection (death tests) --------------------------------------
+
+TEST(DeathTest, MatMulShapeMismatchAborts) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "CHECK failed");
+}
+
+TEST(DeathTest, MatrixOutOfBoundsAborts) {
+  Matrix a(2, 2);
+  EXPECT_DEATH(a(2, 0), "CHECK failed");
+}
+
+TEST(DeathTest, FromCooOutOfRangeAborts) {
+  EXPECT_DEATH(SparseMatrix::FromCoo(2, 2, {{5, 0, 1.0}}), "CHECK failed");
+}
+
+TEST(DeathTest, RestoreShapeMismatchAborts) {
+  ParameterStore store;
+  store.Create(Matrix(2, 2));
+  std::vector<Matrix> wrong{Matrix(3, 3)};
+  EXPECT_DEATH(store.Restore(wrong), "CHECK failed");
+}
+
+TEST(DeathTest, GseFixedLayerOutOfRangeAborts) {
+  ModelConfig mcfg;
+  mcfg.family = ModelFamily::kGcn;
+  mcfg.hidden_dim = 4;
+  mcfg.num_layers = 2;
+  GraphSelfEnsemble gse(mcfg, 2, 4, 2, 1, false);
+  EXPECT_DEATH(gse.SetFixedLayers({1, 5}), "CHECK failed");
+}
+
+TEST(DeathTest, GraphEdgeEndpointOutOfRangeAborts) {
+  EXPECT_DEATH(Graph::Create(2, {{0, 7, 1.0}}, false,
+                             Matrix::Constant(2, 1, 1.0), {0, 1}, 2),
+               "CHECK failed");
+}
+
+TEST(DeathTest, ConcatColsRowMismatchAborts) {
+  Var a = MakeConstant(Matrix(2, 2));
+  Var b = MakeConstant(Matrix(3, 2));
+  EXPECT_DEATH(ConcatCols({a, b}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ahg

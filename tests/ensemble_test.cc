@@ -1,0 +1,94 @@
+#include "ensemble/baselines.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "metrics/metrics.h"
+
+namespace ahg {
+namespace {
+
+TEST(AverageProbsTest, ComputesMean) {
+  Matrix a = Matrix::FromRows({{1.0, 0.0}});
+  Matrix b = Matrix::FromRows({{0.0, 1.0}});
+  Matrix avg = AverageProbs({a, b});
+  EXPECT_NEAR(avg(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(avg(0, 1), 0.5, 1e-12);
+}
+
+TEST(WeightedProbsTest, AppliesWeights) {
+  Matrix a = Matrix::FromRows({{1.0, 0.0}});
+  Matrix b = Matrix::FromRows({{0.0, 1.0}});
+  Matrix w = WeightedProbs({a, b}, {0.8, 0.2});
+  EXPECT_NEAR(w(0, 0), 0.8, 1e-12);
+  EXPECT_NEAR(w(0, 1), 0.2, 1e-12);
+}
+
+// Three labeled validation nodes; model 0 is perfect, model 1 is always
+// wrong, model 2 is uninformative.
+struct Fixture {
+  std::vector<Matrix> probs;
+  std::vector<int> labels{0, 1, 0};
+  std::vector<int> val{0, 1, 2};
+  Fixture() {
+    probs.push_back(
+        Matrix::FromRows({{0.9, 0.1}, {0.1, 0.9}, {0.8, 0.2}}));  // perfect
+    probs.push_back(
+        Matrix::FromRows({{0.2, 0.8}, {0.9, 0.1}, {0.3, 0.7}}));  // inverted
+    probs.push_back(
+        Matrix::FromRows({{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}));  // flat
+  }
+};
+
+TEST(LearnEnsembleWeightsTest, UpweightsTheGoodModel) {
+  Fixture f;
+  std::vector<double> w =
+      LearnEnsembleWeights(f.probs, f.labels, f.val, 300, 0.1);
+  ASSERT_EQ(w.size(), 3u);
+  double total = 0.0;
+  for (double x : w) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[0], w[2]);
+  // The weighted ensemble should classify validation perfectly.
+  EXPECT_NEAR(Accuracy(WeightedProbs(f.probs, w), f.labels, f.val), 1.0,
+              1e-12);
+}
+
+TEST(GreedyEnsembleSelectTest, StartsWithBestModel) {
+  Fixture f;
+  std::vector<int> selected =
+      GreedyEnsembleSelect(f.probs, f.labels, f.val);
+  ASSERT_FALSE(selected.empty());
+  EXPECT_EQ(selected.front(), 0);
+  // Adding the inverted model can only hurt; it must not be selected first
+  // and the selection never repeats a model.
+  std::set<int> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), selected.size());
+}
+
+TEST(GreedyEnsembleSelectTest, SelectionAccuracyIsMonotoneVsSingleBest) {
+  Fixture f;
+  std::vector<int> selected =
+      GreedyEnsembleSelect(f.probs, f.labels, f.val);
+  std::vector<Matrix> members;
+  for (int idx : selected) members.push_back(f.probs[idx]);
+  const double ens_acc = Accuracy(AverageProbs(members), f.labels, f.val);
+  const double best_single = Accuracy(f.probs[0], f.labels, f.val);
+  EXPECT_GE(ens_acc, best_single);
+}
+
+TEST(RandomEnsembleSelectTest, CountAndRange) {
+  Rng rng(1);
+  std::vector<int> sel = RandomEnsembleSelect(10, 4, &rng);
+  EXPECT_EQ(sel.size(), 4u);
+  for (int s : sel) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 10);
+  }
+  // Requesting more than available clamps.
+  EXPECT_EQ(RandomEnsembleSelect(3, 10, &rng).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ahg

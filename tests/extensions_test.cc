@@ -1,0 +1,220 @@
+// Tests for the extension modules: Correct & Smooth / label propagation,
+// random-search NAS, model serialization, and graph statistics.
+#include <fstream>
+
+#include "core/correct_smooth.h"
+#include "core/nas_random.h"
+#include "graph/statistics.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "io/model_store.h"
+#include "metrics/metrics.h"
+#include "nn/parameter_store.h"
+#include "tasks/train_node.h"
+
+namespace ahg {
+namespace {
+
+Graph HomophilousGraph(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 8;
+  cfg.avg_degree = 6.0;
+  cfg.homophily = 0.92;
+  cfg.feature_signal = 0.4;
+  cfg.seed = seed;
+  return GenerateSbmGraph(cfg);
+}
+
+TEST(LabelPropagationTest, BeatsChanceOnHomophilousGraph) {
+  Graph g = HomophilousGraph(1);
+  Rng rng(2);
+  DataSplit split = RandomSplit(g, 0.5, 0.0, &rng);
+  Matrix probs = LabelPropagation(g, split.train, 20, 0.8);
+  EXPECT_GT(Accuracy(probs, g.labels(), split.test), 0.6);
+}
+
+TEST(LabelPropagationTest, RowsAreDistributions) {
+  Graph g = HomophilousGraph(2);
+  Rng rng(3);
+  DataSplit split = RandomSplit(g, 0.5, 0.0, &rng);
+  Matrix probs = LabelPropagation(g, split.train, 10, 0.7);
+  for (int r = 0; r < probs.rows(); ++r) {
+    double total = 0.0;
+    for (int c = 0; c < probs.cols(); ++c) {
+      EXPECT_GE(probs(r, c), 0.0);
+      total += probs(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(CorrectSmoothTest, ImprovesWeakBasePredictions) {
+  Graph g = HomophilousGraph(3);
+  Rng rng(4);
+  DataSplit split = RandomSplit(g, 0.5, 0.1, &rng);
+  // Deliberately weak base model: an undertrained shallow MLP.
+  ModelConfig mcfg;
+  mcfg.family = ModelFamily::kMlp;
+  mcfg.hidden_dim = 8;
+  mcfg.num_layers = 1;
+  mcfg.dropout = 0.0;
+  mcfg.seed = 5;
+  TrainConfig tcfg;
+  tcfg.max_epochs = 8;
+  tcfg.patience = 8;
+  tcfg.learning_rate = 1e-2;
+  NodeTrainResult base = TrainSingleNodeModel(mcfg, g, split, tcfg);
+  const double base_acc = Accuracy(base.probs, g.labels(), split.test);
+
+  CorrectSmoothConfig cs;
+  Matrix refined = CorrectAndSmooth(base.probs, g, split.train, cs);
+  const double refined_acc = Accuracy(refined, g.labels(), split.test);
+  EXPECT_GT(refined_acc, base_acc);
+}
+
+TEST(CorrectSmoothTest, OutputRowsAreDistributions) {
+  Graph g = HomophilousGraph(4);
+  Rng rng(5);
+  DataSplit split = RandomSplit(g, 0.5, 0.0, &rng);
+  Matrix uniform =
+      Matrix::Constant(g.num_nodes(), g.num_classes(), 1.0 / g.num_classes());
+  Matrix refined = CorrectAndSmooth(uniform, g, split.train, {});
+  for (int r = 0; r < refined.rows(); ++r) {
+    double total = 0.0;
+    for (int c = 0; c < refined.cols(); ++c) {
+      EXPECT_GE(refined(r, c), -1e-12);
+      total += refined(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(NasRandomTest, ReturnsRequestedNumberOfNovelSpecs) {
+  Graph g = HomophilousGraph(5);
+  NasSearchConfig cfg;
+  cfg.num_samples = 5;
+  cfg.top_to_keep = 2;
+  cfg.proxy.dataset_ratio = 0.6;
+  cfg.proxy.bagging = 1;
+  cfg.proxy.train.max_epochs = 8;
+  cfg.proxy.train.patience = 4;
+  cfg.seed = 6;
+  std::vector<CandidateSpec> winners = RandomArchitectureSearch(
+      g, {FindCandidate("GCN"), FindCandidate("SGC")}, cfg);
+  ASSERT_EQ(winners.size(), 2u);
+  for (const CandidateSpec& spec : winners) {
+    EXPECT_EQ(spec.name.rfind("NAS-", 0), 0u) << spec.name;
+    // The winning configs must be buildable.
+    ModelConfig mc = spec.config;
+    mc.in_dim = 8;
+    EXPECT_NE(BuildModel(mc), nullptr);
+  }
+}
+
+TEST(NasRandomTest, DeterministicGivenSeed) {
+  Graph g = HomophilousGraph(6);
+  NasSearchConfig cfg;
+  cfg.num_samples = 4;
+  cfg.top_to_keep = 2;
+  cfg.proxy.dataset_ratio = 0.6;
+  cfg.proxy.bagging = 1;
+  cfg.proxy.train.max_epochs = 6;
+  cfg.seed = 7;
+  auto a = RandomArchitectureSearch(g, {FindCandidate("GCN")}, cfg);
+  auto b = RandomArchitectureSearch(g, {FindCandidate("GCN")}, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].config.family, b[i].config.family);
+    EXPECT_EQ(a[i].config.num_layers, b[i].config.num_layers);
+  }
+}
+
+TEST(ModelStoreTest, SaveLoadRoundTrip) {
+  ModelConfig cfg;
+  cfg.family = ModelFamily::kGat;
+  cfg.in_dim = 12;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.25;
+  cfg.heads = 2;
+  cfg.teleport = 0.15;
+  cfg.seed = 99;
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  std::vector<Matrix> snapshot = model->params()->Snapshot();
+
+  const std::string path = "/tmp/ahg_model_roundtrip.ahgm";
+  ASSERT_TRUE(SaveModel(path, cfg, snapshot).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().config.family, cfg.family);
+  EXPECT_EQ(loaded.value().config.in_dim, cfg.in_dim);
+  EXPECT_EQ(loaded.value().config.hidden_dim, cfg.hidden_dim);
+  EXPECT_EQ(loaded.value().config.heads, cfg.heads);
+  EXPECT_DOUBLE_EQ(loaded.value().config.dropout, cfg.dropout);
+  EXPECT_DOUBLE_EQ(loaded.value().config.teleport, cfg.teleport);
+  ASSERT_EQ(loaded.value().params.size(), snapshot.size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_TRUE(AllClose(loaded.value().params[i], snapshot[i], 0.0));
+  }
+  // Restoring into a freshly built model reproduces the weights exactly.
+  std::unique_ptr<GnnModel> rebuilt = BuildModel(loaded.value().config);
+  rebuilt->params()->Restore(loaded.value().params);
+  EXPECT_TRUE(AllClose(rebuilt->params()->Snapshot()[0], snapshot[0], 0.0));
+}
+
+TEST(ModelStoreTest, RejectsGarbageFile) {
+  const std::string path = "/tmp/ahg_model_garbage.ahgm";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a model";
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ModelStoreTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadModel("/nope/missing.ahgm").status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(GraphStatisticsTest, TriangleGraph) {
+  // Triangle + pendant node: clustering 1.0 on the triangle corners that
+  // have degree 2.
+  Graph g = Graph::Create(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {2, 3, 1.0}}, false,
+      Matrix::Constant(4, 1, 1.0), {0, 0, 0, 1}, 2);
+  GraphStatistics stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.num_nodes, 4);
+  EXPECT_EQ(stats.connected_components, 1);
+  EXPECT_EQ(stats.largest_component, 4);
+  EXPECT_EQ(stats.max_degree, 3);
+  // Nodes 0,1 have clustering 1; node 2 has 1/3; node 3 is skipped.
+  EXPECT_NEAR(stats.avg_clustering, (1.0 + 1.0 + 1.0 / 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.edge_homophily, 0.75, 1e-12);
+}
+
+TEST(GraphStatisticsTest, DisconnectedComponentsCounted) {
+  Graph g = Graph::Create(5, {{0, 1, 1.0}, {2, 3, 1.0}}, false,
+                          Matrix::Constant(5, 1, 1.0), {0, 0, 1, 1, 0}, 2);
+  GraphStatistics stats = ComputeStatistics(g);
+  EXPECT_EQ(stats.connected_components, 3);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(stats.largest_component, 2);
+}
+
+TEST(GraphStatisticsTest, HomophilyMatchesGeneratorKnob) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 600;
+  cfg.num_classes = 4;
+  cfg.avg_degree = 6.0;
+  cfg.homophily = 0.85;
+  cfg.seed = 9;
+  GraphStatistics stats = ComputeStatistics(GenerateSbmGraph(cfg));
+  EXPECT_NEAR(stats.edge_homophily, 0.85, 0.06);
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,136 @@
+// Finite-difference verification of the graph-structured autodiff ops.
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "gtest/gtest.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+using ::ahg::testing::ExpectGradientsMatch;
+
+Matrix RandomMatrix(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Gaussian(r, c, 1.0, &rng);
+}
+
+// Small adjacency with self loops, an empty row (node 4 has no incoming
+// entries), and weighted edges.
+SparseMatrix TestAdjacency() {
+  return SparseMatrix::FromCoo(5, 5,
+                               {{0, 0, 1.0},
+                                {0, 1, 0.5},
+                                {1, 1, 1.0},
+                                {1, 2, 2.0},
+                                {2, 2, 1.0},
+                                {2, 0, 1.5},
+                                {3, 3, 1.0},
+                                {3, 0, 0.7},
+                                {3, 2, 0.3}});
+}
+
+TEST(GraphOpsForwardTest, SpmmMatchesSparseKernel) {
+  SparseMatrix a = TestAdjacency();
+  Matrix x = RandomMatrix(5, 3, 1);
+  Var xv = MakeConstant(x);
+  EXPECT_TRUE(AllClose(Spmm(a, xv)->value, a.Spmm(x), 1e-12));
+}
+
+TEST(GraphOpsGradTest, Spmm) {
+  SparseMatrix a = TestAdjacency();
+  Var x = MakeParam(RandomMatrix(5, 3, 2));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = Spmm(a, x);
+        return SumAll(CWiseMul(y, y));
+      },
+      {x});
+}
+
+TEST(GraphOpsForwardTest, NeighborMaxPoolEmptyRowIsZero) {
+  SparseMatrix a = TestAdjacency();
+  Var x = MakeConstant(Matrix::Constant(5, 2, 3.0));
+  Var y = NeighborMaxPool(a, x);
+  EXPECT_EQ(y->value(4, 0), 0.0);  // node 4 has no entries
+  EXPECT_EQ(y->value(0, 0), 3.0);
+}
+
+TEST(GraphOpsGradTest, NeighborMaxPool) {
+  SparseMatrix a = TestAdjacency();
+  // Spread values so argmaxes are strict.
+  Matrix init(5, 3);
+  Rng rng(3);
+  for (int64_t i = 0; i < init.size(); ++i) {
+    init.data()[i] = rng.Normal() * 3.0 + static_cast<double>(i % 7);
+  }
+  Var x = MakeParam(init);
+  ExpectGradientsMatch(
+      [&] {
+        Var y = NeighborMaxPool(a, x);
+        return SumAll(CWiseMul(y, y));
+      },
+      {x});
+}
+
+TEST(GraphOpsForwardTest, GatAggregateRowsAreConvexCombinations) {
+  SparseMatrix a = TestAdjacency();
+  Rng rng(4);
+  Var s_src = MakeConstant(Matrix::Gaussian(5, 1, 1.0, &rng));
+  Var s_dst = MakeConstant(Matrix::Gaussian(5, 1, 1.0, &rng));
+  Var h = MakeConstant(Matrix::Constant(5, 2, 2.0));
+  Var y = GatAggregate(a, s_src, s_dst, h, 0.2);
+  // Convex combination of constant rows stays at the constant.
+  for (int r = 0; r < 4; ++r) EXPECT_NEAR(y->value(r, 0), 2.0, 1e-9);
+  EXPECT_EQ(y->value(4, 0), 0.0);  // empty row
+}
+
+TEST(GraphOpsGradTest, GatAggregateAllInputs) {
+  SparseMatrix a = TestAdjacency();
+  Var s_src = MakeParam(RandomMatrix(5, 1, 5));
+  Var s_dst = MakeParam(RandomMatrix(5, 1, 6));
+  Var h = MakeParam(RandomMatrix(5, 3, 7));
+  ExpectGradientsMatch(
+      [&] {
+        Var y = GatAggregate(a, s_src, s_dst, h, 0.2);
+        return SumAll(CWiseMul(y, y));
+      },
+      {s_src, s_dst, h}, 1e-6, 5e-5);
+}
+
+TEST(GraphOpsForwardTest, SegmentPoolSumAndMean) {
+  Var x = MakeConstant(Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}));
+  const std::vector<int> segments{0, 0, 1};
+  Var sum = SegmentPool(x, segments, 2, /*mean=*/false);
+  EXPECT_EQ(sum->value(0, 0), 4.0);
+  EXPECT_EQ(sum->value(0, 1), 6.0);
+  EXPECT_EQ(sum->value(1, 0), 5.0);
+  Var mean = SegmentPool(x, segments, 2, /*mean=*/true);
+  EXPECT_EQ(mean->value(0, 0), 2.0);
+  EXPECT_EQ(mean->value(1, 1), 6.0);
+}
+
+TEST(GraphOpsGradTest, SegmentPoolSum) {
+  Var x = MakeParam(RandomMatrix(6, 2, 8));
+  const std::vector<int> segments{0, 1, 0, 2, 1, 2};
+  ExpectGradientsMatch(
+      [&] {
+        Var y = SegmentPool(x, segments, 3, /*mean=*/false);
+        return SumAll(CWiseMul(y, y));
+      },
+      {x});
+}
+
+TEST(GraphOpsGradTest, SegmentPoolMean) {
+  Var x = MakeParam(RandomMatrix(6, 2, 9));
+  const std::vector<int> segments{0, 1, 0, 2, 1, 2};
+  ExpectGradientsMatch(
+      [&] {
+        Var y = SegmentPool(x, segments, 3, /*mean=*/true);
+        return SumAll(CWiseMul(y, y));
+      },
+      {x});
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,67 @@
+#include "graph/graph_set.h"
+
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+TEST(ProteinsLikeTest, GeneratesBalancedBinarySet) {
+  ProteinsLikeConfig cfg;
+  cfg.num_graphs = 40;
+  cfg.seed = 1;
+  GraphSet set = GenerateProteinsLike(cfg);
+  EXPECT_EQ(set.graphs.size(), 40u);
+  EXPECT_EQ(set.labels.size(), 40u);
+  EXPECT_EQ(set.num_classes, 2);
+  int ones = 0;
+  for (int label : set.labels) ones += label;
+  EXPECT_EQ(ones, 20);
+  for (const Graph& g : set.graphs) {
+    EXPECT_GE(g.num_nodes(), cfg.min_nodes);
+    EXPECT_LE(g.num_nodes(), cfg.max_nodes);
+    EXPECT_EQ(g.feature_dim(), cfg.feature_dim);
+  }
+}
+
+TEST(ProteinsLikeTest, DenseClassHasMoreEdgesPerNode) {
+  ProteinsLikeConfig cfg;
+  cfg.num_graphs = 60;
+  cfg.seed = 2;
+  GraphSet set = GenerateProteinsLike(cfg);
+  double density[2] = {0.0, 0.0};
+  int count[2] = {0, 0};
+  for (size_t i = 0; i < set.graphs.size(); ++i) {
+    density[set.labels[i]] += set.graphs[i].AverageDegree();
+    ++count[set.labels[i]];
+  }
+  EXPECT_GT(density[1] / count[1], density[0] / count[0]);
+}
+
+TEST(BatchGraphsTest, BlockDiagonalLayout) {
+  ProteinsLikeConfig cfg;
+  cfg.num_graphs = 6;
+  cfg.seed = 3;
+  GraphSet set = GenerateProteinsLike(cfg);
+  GraphBatch batch = BatchGraphs(set, {0, 2, 4});
+  EXPECT_EQ(batch.num_graphs, 3);
+  const int expected_nodes = set.graphs[0].num_nodes() +
+                             set.graphs[2].num_nodes() +
+                             set.graphs[4].num_nodes();
+  EXPECT_EQ(batch.merged.num_nodes(), expected_nodes);
+  EXPECT_EQ(static_cast<int>(batch.segment_ids.size()), expected_nodes);
+  EXPECT_EQ(batch.labels,
+            (std::vector<int>{set.labels[0], set.labels[2], set.labels[4]}));
+  // Segment ids are contiguous blocks 0,0,...,1,...,2.
+  EXPECT_EQ(batch.segment_ids.front(), 0);
+  EXPECT_EQ(batch.segment_ids.back(), 2);
+  for (size_t i = 1; i < batch.segment_ids.size(); ++i) {
+    EXPECT_GE(batch.segment_ids[i], batch.segment_ids[i - 1]);
+  }
+  // No edge crosses segment boundaries.
+  for (const Edge& e : batch.merged.edges()) {
+    EXPECT_EQ(batch.segment_ids[e.src], batch.segment_ids[e.dst]);
+  }
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+// Path graph 0-1-2 plus an isolated node 3.
+Graph PathGraph(bool directed = false) {
+  Matrix features = Matrix::Constant(4, 2, 1.0);
+  return Graph::Create(4, {{0, 1, 1.0}, {1, 2, 1.0}}, directed,
+                       std::move(features), {0, 1, 0, -1}, 2);
+}
+
+TEST(GraphTest, BasicAccessors) {
+  Graph g = PathGraph();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.num_classes(), 2);
+  EXPECT_EQ(g.feature_dim(), 2);
+  EXPECT_NEAR(g.AverageDegree(), 0.5, 1e-12);
+}
+
+TEST(GraphTest, LabeledNodesSkipsUnlabeled) {
+  Graph g = PathGraph();
+  EXPECT_EQ(g.LabeledNodes(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GraphTest, SymNormRowsOfIsolatedNodeKeepSelfLoop) {
+  Graph g = PathGraph();
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  // Isolated node 3: degree 1 from the self loop -> normalized weight 1.
+  Matrix dense = adj.ToDense();
+  EXPECT_NEAR(dense(3, 3), 1.0, 1e-12);
+}
+
+TEST(GraphTest, SymNormIsSymmetric) {
+  Graph g = PathGraph();
+  Matrix dense = g.Adjacency(AdjacencyKind::kSymNorm).ToDense();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_NEAR(dense(i, j), dense(j, i), 1e-12);
+  }
+}
+
+TEST(GraphTest, SymNormMatchesManualComputation) {
+  Graph g = PathGraph();
+  Matrix dense = g.Adjacency(AdjacencyKind::kSymNorm).ToDense();
+  // Node 0: deg 2 (self + edge to 1); node 1: deg 3. Entry (0,1):
+  // 1/sqrt(2*3).
+  EXPECT_NEAR(dense(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(dense(0, 0), 0.5, 1e-12);
+}
+
+TEST(GraphTest, RowNormRowsSumToOne) {
+  Graph g = PathGraph();
+  Matrix dense = g.Adjacency(AdjacencyKind::kRowNorm).ToDense();
+  for (int r = 0; r < 4; ++r) {
+    double total = 0.0;
+    for (int c = 0; c < 4; ++c) total += dense(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(GraphTest, DirectedRowNormRespectsDirection) {
+  Graph g = PathGraph(/*directed=*/true);
+  Matrix dense = g.Adjacency(AdjacencyKind::kRowNorm).ToDense();
+  // Edge 0 -> 1 delivers into node 1's row only.
+  EXPECT_GT(dense(1, 0), 0.0);
+  EXPECT_EQ(dense(0, 1), 0.0);
+}
+
+TEST(GraphTest, RawSelfLoopsContainsDiagonal) {
+  Graph g = PathGraph();
+  Matrix dense = g.Adjacency(AdjacencyKind::kRawSelfLoops).ToDense();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dense(i, i), 1.0);
+  EXPECT_EQ(dense(1, 0), 1.0);
+  EXPECT_EQ(dense(0, 1), 1.0);  // undirected stores both directions
+}
+
+TEST(GraphTest, SymNormNoSelfLoopsHasZeroDiagonal) {
+  Graph g = PathGraph();
+  Matrix dense = g.Adjacency(AdjacencyKind::kSymNormNoSelfLoops).ToDense();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dense(i, i), 0.0);
+}
+
+TEST(GraphTest, SynthesizeDegreeFeaturesShapes) {
+  Graph g = PathGraph();
+  g.SynthesizeDegreeFeatures(8);
+  EXPECT_EQ(g.feature_dim(), 9);
+  // Each row has exactly one bucket flag plus the scalar column.
+  for (int r = 0; r < 4; ++r) {
+    double bucket_sum = 0.0;
+    for (int c = 0; c < 8; ++c) bucket_sum += g.features()(r, c);
+    EXPECT_EQ(bucket_sum, 1.0);
+  }
+}
+
+TEST(GraphTest, RowNormalizeFeaturesMakesL1Rows) {
+  Matrix features = Matrix::FromRows({{2.0, 2.0}, {0.0, 0.0}, {-3.0, 1.0}});
+  Graph g = Graph::Create(3, {}, false, std::move(features), {0, 1, 0}, 2);
+  g.RowNormalizeFeatures();
+  EXPECT_NEAR(g.features()(0, 0), 0.5, 1e-12);
+  EXPECT_EQ(g.features()(1, 0), 0.0);  // zero rows untouched
+  EXPECT_NEAR(std::abs(g.features()(2, 0)) + std::abs(g.features()(2, 1)),
+              1.0, 1e-12);
+}
+
+TEST(GraphTest, WeightedEdgesFlowIntoAdjacency) {
+  Graph g = Graph::Create(2, {{0, 1, 2.5}}, false,
+                          Matrix::Constant(2, 1, 1.0), {0, 1}, 2);
+  Matrix raw = g.Adjacency(AdjacencyKind::kRawSelfLoops).ToDense();
+  EXPECT_EQ(raw(1, 0), 2.5);
+}
+
+}  // namespace
+}  // namespace ahg

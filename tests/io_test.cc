@@ -1,0 +1,111 @@
+#include "io/autograph_format.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "graph/split.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base ? base : "/tmp") + "/" + name;
+  return dir;
+}
+
+TEST(AutographFormatTest, RoundTripPreservesGraph) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 80;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 4;
+  cfg.avg_degree = 3.0;
+  cfg.weighted = true;
+  cfg.seed = 1;
+  Graph g = GenerateSbmGraph(cfg);
+  Rng rng(2);
+  DataSplit split = RandomSplit(g, 0.5, 0.0, &rng);
+
+  const std::string dir = TempDir("autograph_roundtrip");
+  ASSERT_TRUE(WriteAutographDataset(dir, g, split.train, split.test, 300.0)
+                  .ok());
+  auto read = ReadAutographDataset(dir);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const AutographDataset& ds = read.value();
+
+  EXPECT_EQ(ds.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(ds.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(ds.graph.num_classes(), g.num_classes());
+  EXPECT_EQ(ds.time_budget_seconds, 300.0);
+  EXPECT_EQ(ds.train_nodes, split.train);
+  EXPECT_EQ(ds.test_nodes, split.test);
+  // Train labels survive; test labels are withheld.
+  for (int node : split.train) {
+    EXPECT_EQ(ds.graph.labels()[node], g.labels()[node]);
+  }
+  for (int node : split.test) {
+    EXPECT_EQ(ds.graph.labels()[node], -1);
+  }
+  // Features match to printed precision.
+  EXPECT_TRUE(AllClose(ds.graph.features(), g.features(), 1e-4));
+}
+
+TEST(AutographFormatTest, MissingDirectoryIsNotFound) {
+  auto read = ReadAutographDataset("/definitely/not/here");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kNotFound);
+}
+
+TEST(AutographFormatTest, MalformedEdgeRowRejected) {
+  const std::string dir = TempDir("autograph_malformed");
+  Graph g = Graph::Create(2, {{0, 1, 1.0}}, false,
+                          Matrix::Constant(2, 2, 1.0), {0, 1}, 2);
+  ASSERT_TRUE(WriteAutographDataset(dir, g, {0}, {1}, 60.0).ok());
+  std::ofstream bad(dir + "/edge.tsv");
+  bad << "0\t1\n";  // missing weight column
+  bad.close();
+  auto read = ReadAutographDataset(dir);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(AutographFormatTest, OutOfRangeEdgeRejected) {
+  const std::string dir = TempDir("autograph_range");
+  Graph g = Graph::Create(2, {{0, 1, 1.0}}, false,
+                          Matrix::Constant(2, 2, 1.0), {0, 1}, 2);
+  ASSERT_TRUE(WriteAutographDataset(dir, g, {0}, {1}, 60.0).ok());
+  std::ofstream bad(dir + "/edge.tsv");
+  bad << "0\t9\t1.0\n";
+  bad.close();
+  auto read = ReadAutographDataset(dir);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(AutographFormatTest, MissingConfigKeyRejected) {
+  const std::string dir = TempDir("autograph_noclass");
+  Graph g = Graph::Create(2, {{0, 1, 1.0}}, false,
+                          Matrix::Constant(2, 2, 1.0), {0, 1}, 2);
+  ASSERT_TRUE(WriteAutographDataset(dir, g, {0}, {1}, 60.0).ok());
+  std::ofstream bad(dir + "/config.yml");
+  bad << "time_budget: 60\n";  // n_class missing
+  bad.close();
+  auto read = ReadAutographDataset(dir);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(AutographFormatTest, DirectedFlagRoundTrips) {
+  const std::string dir = TempDir("autograph_directed");
+  Graph g = Graph::Create(3, {{0, 1, 1.0}, {1, 2, 1.0}}, /*directed=*/true,
+                          Matrix::Constant(3, 2, 1.0), {0, 1, 0}, 2);
+  ASSERT_TRUE(WriteAutographDataset(dir, g, {0, 1}, {2}, 60.0).ok());
+  auto read = ReadAutographDataset(dir);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().graph.directed());
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "metrics/aggregate.h"
+#include "metrics/kendall.h"
+#include "metrics/metrics.h"
+#include "metrics/wilcoxon.h"
+
+namespace ahg {
+namespace {
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Matrix probs = Matrix::FromRows({{0.9, 0.1}, {0.2, 0.8}, {0.6, 0.4}});
+  std::vector<int> labels{0, 1, 1};
+  EXPECT_NEAR(Accuracy(probs, labels, {0, 1, 2}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Accuracy(probs, labels, {0, 1}), 1.0, 1e-12);
+}
+
+TEST(MacroF1Test, PerfectPredictionsGiveOne) {
+  Matrix probs = Matrix::FromRows({{1, 0}, {0, 1}});
+  EXPECT_NEAR(MacroF1(probs, {0, 1}, {0, 1}, 2), 1.0, 1e-12);
+}
+
+TEST(MacroF1Test, KnownConfusion) {
+  // Predictions: class0, class0, class1; truth: 0, 1, 1.
+  Matrix probs = Matrix::FromRows({{0.9, 0.1}, {0.8, 0.2}, {0.3, 0.7}});
+  // class0: tp=1 fp=1 fn=0 -> F1 = 2/3; class1: tp=1 fp=0 fn=1 -> F1 = 2/3.
+  EXPECT_NEAR(MacroF1(probs, {0, 1, 1}, {0, 1, 2}, 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  EXPECT_NEAR(RocAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0, 1e-12);
+}
+
+TEST(RocAucTest, ReversedScoresGiveZero) {
+  EXPECT_NEAR(RocAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(RocAucTest, TiesGiveHalfCredit) {
+  EXPECT_NEAR(RocAuc({0.5, 0.5}, {1, 0}), 0.5, 1e-12);
+}
+
+TEST(RocAucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won 3/4.
+  EXPECT_NEAR(RocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75, 1e-12);
+}
+
+TEST(KendallTest, PerfectAgreement) {
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(KendallTest, PerfectDisagreement) {
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(KendallTest, KnownPartial) {
+  // One discordant pair among six -> (5 - 1) / 6.
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {1, 2, 4, 3}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTest, ConstantVectorGivesZero) {
+  EXPECT_EQ(KendallTau({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(KendallTest, TieCorrectedSymmetry) {
+  const double t1 = KendallTau({1, 2, 2, 3}, {1, 2, 3, 4});
+  const double t2 = KendallTau({1, 2, 3, 4}, {1, 2, 2, 3});
+  EXPECT_NEAR(t1, t2, 1e-12);
+  EXPECT_GT(t1, 0.8);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesGiveOne) {
+  EXPECT_EQ(WilcoxonSignedRankTest({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(WilcoxonTest, ClearlyShiftedSmallSampleIsSignificant) {
+  std::vector<double> a{1.5, 2.1, 1.8, 2.4, 1.9, 2.2, 2.0, 1.7};
+  std::vector<double> b;
+  for (double v : a) b.push_back(v - 1.0);
+  EXPECT_LT(WilcoxonSignedRankTest(a, b), 0.05);
+}
+
+TEST(WilcoxonTest, SymmetricNoiseIsInsignificant) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  std::vector<double> b{1.1, 1.9, 3.1, 3.9, 5.1, 4.9};
+  EXPECT_GT(WilcoxonSignedRankTest(a, b), 0.2);
+}
+
+TEST(WilcoxonTest, LargeSampleNormalApproximation) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(i + 0.5);  // consistently above
+    b.push_back(i);
+  }
+  EXPECT_LT(WilcoxonSignedRankTest(a, b), 1e-4);
+}
+
+TEST(SummarizeTest, KnownStats) {
+  RunStats s = Summarize({2.0, 4.0, 6.0});
+  EXPECT_NEAR(s.mean, 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 6.0);
+  EXPECT_EQ(s.count, 3);
+}
+
+TEST(SummarizeTest, SingleValueHasZeroStd) {
+  RunStats s = Summarize({5.0});
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(FormatMeanStdTest, PercentRendering) {
+  RunStats s = Summarize({0.861, 0.863});
+  EXPECT_EQ(FormatMeanStd(s, /*percent=*/true), "86.2±0.1");
+}
+
+TEST(AverageRankScoreTest, BestMethodGetsLowestRank) {
+  // Two datasets, three methods; method 2 always best.
+  std::vector<std::vector<double>> scores{{0.5, 0.6, 0.9}, {0.4, 0.7, 0.8}};
+  std::vector<double> ranks = AverageRankScore(scores);
+  EXPECT_NEAR(ranks[2], 1.0, 1e-12);
+  EXPECT_NEAR(ranks[1], 2.0, 1e-12);
+  EXPECT_NEAR(ranks[0], 3.0, 1e-12);
+}
+
+TEST(AverageRankScoreTest, TiesShareRank) {
+  std::vector<std::vector<double>> scores{{0.5, 0.5}};
+  std::vector<double> ranks = AverageRankScore(scores);
+  EXPECT_NEAR(ranks[0], 1.5, 1e-12);
+  EXPECT_NEAR(ranks[1], 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace ahg

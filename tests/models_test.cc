@@ -1,0 +1,176 @@
+// Parameterized checks over every architecture in the zoo: output shapes,
+// gradient flow to all parameters, seed-determinism, and layer-count
+// contracts. These are the invariants GSE and the searches rely on.
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "autodiff/ops.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "models/model.h"
+#include "models/model_zoo.h"
+
+namespace ahg {
+namespace {
+
+const Graph& TestGraph() {
+  static const Graph* graph = [] {
+    SyntheticConfig cfg;
+    cfg.num_nodes = 60;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 10;
+    cfg.avg_degree = 4.0;
+    cfg.seed = 42;
+    return new Graph(GenerateSbmGraph(cfg));
+  }();
+  return *graph;
+}
+
+ModelConfig BaseConfig(ModelFamily family) {
+  ModelConfig cfg;
+  cfg.family = family;
+  cfg.in_dim = TestGraph().feature_dim();
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 3;
+  cfg.dropout = 0.3;
+  cfg.heads = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class ModelFamilyTest : public ::testing::TestWithParam<ModelFamily> {};
+
+TEST_P(ModelFamilyTest, LayerOutputShapes) {
+  ModelConfig cfg = BaseConfig(GetParam());
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  GnnContext ctx{&TestGraph(), /*training=*/false, nullptr};
+  Var x = MakeConstant(TestGraph().features());
+  std::vector<Var> layers = model->LayerOutputs(ctx, x);
+  ASSERT_EQ(static_cast<int>(layers.size()), cfg.num_layers);
+  for (const Var& h : layers) {
+    EXPECT_EQ(h->rows(), TestGraph().num_nodes());
+    EXPECT_EQ(h->cols(), cfg.hidden_dim);
+  }
+}
+
+TEST_P(ModelFamilyTest, GradientsReachEveryParameter) {
+  ModelConfig cfg = BaseConfig(GetParam());
+  cfg.dropout = 0.0;  // keep the graph deterministic and fully connected
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  GnnContext ctx{&TestGraph(), /*training=*/true, nullptr};
+  Rng rng(3);
+  ctx.rng = &rng;
+  Var x = MakeConstant(TestGraph().features());
+  std::vector<Var> layers = model->LayerOutputs(ctx, x);
+  // Sum over ALL layer outputs so even layer-specific weights participate.
+  Var loss = SumAll(CWiseMul(AddN(layers), AddN(layers)));
+  model->params()->ZeroGrad();
+  Backward(loss);
+  int with_grad = 0;
+  for (const Var& p : model->params()->params()) {
+    if (!p->grad.empty() && p->grad.SquaredNorm() > 0.0) ++with_grad;
+  }
+  // Bias-only or gate parameters can have structurally zero gradients in
+  // corner cases, but the vast majority must receive signal.
+  EXPECT_GE(with_grad,
+            static_cast<int>(model->params()->params().size()) - 1)
+      << "family " << ModelFamilyName(cfg.family);
+}
+
+TEST_P(ModelFamilyTest, DeterministicGivenSeed) {
+  ModelConfig cfg = BaseConfig(GetParam());
+  std::unique_ptr<GnnModel> m1 = BuildModel(cfg);
+  std::unique_ptr<GnnModel> m2 = BuildModel(cfg);
+  GnnContext ctx{&TestGraph(), /*training=*/false, nullptr};
+  Var x = MakeConstant(TestGraph().features());
+  Var h1 = m1->LayerOutputs(ctx, x).back();
+  Var h2 = m2->LayerOutputs(ctx, x).back();
+  EXPECT_TRUE(AllClose(h1->value, h2->value, 0.0));
+}
+
+TEST_P(ModelFamilyTest, DifferentSeedsProduceDifferentOutputs) {
+  ModelConfig cfg = BaseConfig(GetParam());
+  std::unique_ptr<GnnModel> m1 = BuildModel(cfg);
+  cfg.seed = cfg.seed + 1;
+  std::unique_ptr<GnnModel> m2 = BuildModel(cfg);
+  GnnContext ctx{&TestGraph(), /*training=*/false, nullptr};
+  Var x = MakeConstant(TestGraph().features());
+  Var h1 = m1->LayerOutputs(ctx, x).back();
+  Var h2 = m2->LayerOutputs(ctx, x).back();
+  EXPECT_FALSE(AllClose(h1->value, h2->value, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ModelFamilyTest,
+    ::testing::Values(ModelFamily::kGcn, ModelFamily::kSageMean,
+                      ModelFamily::kSagePool, ModelFamily::kGat,
+                      ModelFamily::kSgc, ModelFamily::kTagcn,
+                      ModelFamily::kAppnp, ModelFamily::kGin,
+                      ModelFamily::kGcnii, ModelFamily::kJkMax,
+                      ModelFamily::kDnaHighway, ModelFamily::kMixHop,
+                      ModelFamily::kDagnn, ModelFamily::kCheb,
+                      ModelFamily::kGatedGnn, ModelFamily::kMlp,
+                      ModelFamily::kArma, ModelFamily::kGraphConv,
+                      ModelFamily::kAgnn),
+    [](const ::testing::TestParamInfo<ModelFamily>& info) {
+      std::string name = ModelFamilyName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out.push_back(c);
+      }
+      return out;
+    });
+
+TEST(ModelZooTest, DefaultPoolHasTwentyPlusUniqueCandidates) {
+  std::vector<CandidateSpec> pool = DefaultCandidatePool();
+  EXPECT_GE(pool.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& spec : pool) names.insert(spec.name);
+  EXPECT_EQ(names.size(), pool.size());
+}
+
+TEST(ModelZooTest, EveryCandidateBuilds) {
+  for (const CandidateSpec& spec : DefaultCandidatePool()) {
+    ModelConfig cfg = spec.config;
+    cfg.in_dim = 8;
+    std::unique_ptr<GnnModel> model = BuildModel(cfg);
+    EXPECT_NE(model, nullptr) << spec.name;
+    EXPECT_GT(model->params()->NumParams(), 0) << spec.name;
+  }
+}
+
+TEST(ModelZooTest, FindCandidateReturnsNamedSpec) {
+  CandidateSpec spec = FindCandidate("GCNII");
+  EXPECT_EQ(spec.name, "GCNII");
+  EXPECT_EQ(spec.config.family, ModelFamily::kGcnii);
+}
+
+TEST(ModelZooTest, CompactPoolIsSubsetOfDefault) {
+  for (const CandidateSpec& spec : CompactCandidatePool()) {
+    EXPECT_EQ(FindCandidate(spec.name).name, spec.name);
+  }
+}
+
+TEST(ModelZooTest, GatHeadWidthsAbsorbRemainder) {
+  // hidden_dim not divisible by heads must still produce hidden_dim outputs.
+  ModelConfig cfg = BaseConfig(ModelFamily::kGat);
+  cfg.hidden_dim = 13;
+  cfg.heads = 4;
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  GnnContext ctx{&TestGraph(), false, nullptr};
+  Var x = MakeConstant(TestGraph().features());
+  EXPECT_EQ(model->LayerOutputs(ctx, x).back()->cols(), 13);
+}
+
+TEST(ModelZooTest, MixHopWidthsAbsorbRemainder) {
+  ModelConfig cfg = BaseConfig(ModelFamily::kMixHop);
+  cfg.hidden_dim = 13;
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  GnnContext ctx{&TestGraph(), false, nullptr};
+  Var x = MakeConstant(TestGraph().features());
+  EXPECT_EQ(model->LayerOutputs(ctx, x).back()->cols(), 13);
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,137 @@
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "gtest/gtest.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/parameter_store.h"
+
+namespace ahg {
+namespace {
+
+TEST(InitTest, GlorotUniformBounds) {
+  Rng rng(1);
+  Matrix w = GlorotUniform(100, 50, &rng);
+  const double bound = std::sqrt(6.0 / 150.0);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), bound);
+  }
+  // Not degenerate.
+  EXPECT_GT(w.SquaredNorm(), 0.0);
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(2);
+  Matrix w = HeNormal(200, 100, &rng);
+  const double var = w.SquaredNorm() / w.size();
+  EXPECT_NEAR(var, 2.0 / 200.0, 0.002);
+}
+
+TEST(ParameterStoreTest, CreateTracksParams) {
+  ParameterStore store;
+  Var a = store.Create(Matrix(2, 3));
+  Var b = store.Create(Matrix(1, 4));
+  EXPECT_EQ(store.params().size(), 2u);
+  EXPECT_EQ(store.NumParams(), 10);
+  EXPECT_TRUE(a->requires_grad);
+  EXPECT_TRUE(b->requires_grad);
+}
+
+TEST(ParameterStoreTest, SnapshotRestoreRoundTrip) {
+  ParameterStore store;
+  Var a = store.Create(Matrix::FromRows({{1, 2}}));
+  std::vector<Matrix> snapshot = store.Snapshot();
+  a->value(0, 0) = 99.0;
+  store.Restore(snapshot);
+  EXPECT_EQ(a->value(0, 0), 1.0);
+}
+
+TEST(ParameterStoreTest, ZeroGradClearsAll) {
+  ParameterStore store;
+  Var a = store.Create(Matrix::FromRows({{1.0}}));
+  Backward(SumAll(ScalarMul(a, 2.0)));
+  EXPECT_NE(a->grad(0, 0), 0.0);
+  store.ZeroGrad();
+  EXPECT_EQ(a->grad(0, 0), 0.0);
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  ParameterStore store;
+  Rng rng(3);
+  Linear layer(&store, 4, 6, /*bias=*/true, &rng);
+  Var x = MakeConstant(Matrix::Constant(5, 4, 1.0));
+  Var y = layer.Apply(x);
+  EXPECT_EQ(y->rows(), 5);
+  EXPECT_EQ(y->cols(), 6);
+  EXPECT_EQ(store.params().size(), 2u);  // W and b
+}
+
+TEST(LinearTest, NoBiasRegistersOneParam) {
+  ParameterStore store;
+  Rng rng(4);
+  Linear layer(&store, 4, 6, /*bias=*/false, &rng);
+  EXPECT_EQ(store.params().size(), 1u);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||p - t||^2; Adam should approach t.
+  Var p = MakeParam(Matrix::Constant(1, 3, 5.0));
+  Matrix target = Matrix::FromRows({{1.0, -2.0, 0.5}});
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.0;
+  Adam adam({p}, config);
+  for (int step = 0; step < 300; ++step) {
+    p->ZeroGrad();
+    Var diff = Sub(p, MakeConstant(target));
+    Backward(SumAll(CWiseMul(diff, diff)));
+    adam.Step();
+  }
+  EXPECT_TRUE(AllClose(p->value, target, 1e-2));
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParams) {
+  // With pure decay (zero task gradient), weights should shrink.
+  Var p = MakeParam(Matrix::Constant(1, 1, 1.0));
+  AdamConfig config;
+  config.learning_rate = 0.05;
+  config.weight_decay = 1.0;
+  Adam adam({p}, config);
+  for (int step = 0; step < 50; ++step) {
+    p->ZeroGrad();
+    p->EnsureGrad();  // zero gradient, decay only
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(p->value(0, 0)), 0.5);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Var p = MakeParam(Matrix::Constant(1, 1, 2.0));
+  AdamConfig config;
+  Adam adam({p}, config);
+  adam.Step();  // p->grad never allocated
+  EXPECT_EQ(p->value(0, 0), 2.0);
+}
+
+TEST(SgdTest, DescendsQuadratic) {
+  Var p = MakeParam(Matrix::Constant(1, 1, 4.0));
+  Sgd sgd({p}, 0.1, 0.0);
+  for (int step = 0; step < 100; ++step) {
+    p->ZeroGrad();
+    Var diff = Sub(p, MakeConstant(Matrix::Constant(1, 1, 1.0)));
+    Backward(SumAll(CWiseMul(diff, diff)));
+    sgd.Step();
+  }
+  EXPECT_NEAR(p->value(0, 0), 1.0, 1e-4);
+}
+
+TEST(AdamTest, LearningRateMutable) {
+  Var p = MakeParam(Matrix(1, 1));
+  Adam adam({p}, AdamConfig{});
+  adam.set_learning_rate(0.5);
+  EXPECT_EQ(adam.learning_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace ahg

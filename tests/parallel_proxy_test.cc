@@ -1,0 +1,65 @@
+// Parallel proxy evaluation must be a pure speed knob: scores and ranking
+// are bit-identical to the sequential run because every candidate derives
+// its seeds independently of scheduling.
+#include "core/proxy_eval.h"
+
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+TEST(ParallelProxyTest, ThreadCountDoesNotChangeScores) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 160;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 8;
+  cfg.avg_degree = 4.0;
+  cfg.seed = 31;
+  Graph g = GenerateSbmGraph(cfg);
+  std::vector<CandidateSpec> pool{FindCandidate("GCN"), FindCandidate("SGC"),
+                                  FindCandidate("TAGC"),
+                                  FindCandidate("GraphSAGE-mean")};
+  ProxyConfig base;
+  base.dataset_ratio = 0.5;
+  base.bagging = 2;
+  base.model_ratio = 0.5;
+  base.train.max_epochs = 10;
+  base.train.patience = 5;
+
+  ProxyConfig serial = base;
+  serial.num_threads = 1;
+  ProxyConfig threaded = base;
+  threaded.num_threads = 3;
+  ProxyEvalResult a = ProxyEvaluate(pool, g, serial, /*seed=*/7);
+  ProxyEvalResult b = ProxyEvaluate(pool, g, threaded, /*seed=*/7);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].name, b.ranked[i].name);
+    EXPECT_DOUBLE_EQ(a.ranked[i].mean_val_accuracy,
+                     b.ranked[i].mean_val_accuracy);
+  }
+}
+
+TEST(ParallelProxyTest, RepeatedRunsAreDeterministic) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_classes = 2;
+  cfg.feature_dim = 6;
+  cfg.seed = 32;
+  Graph g = GenerateSbmGraph(cfg);
+  std::vector<CandidateSpec> pool{FindCandidate("GCN"), FindCandidate("MLP")};
+  ProxyConfig proxy;
+  proxy.dataset_ratio = 0.6;
+  proxy.bagging = 2;
+  proxy.train.max_epochs = 8;
+  ProxyEvalResult a = ProxyEvaluate(pool, g, proxy, /*seed=*/9);
+  ProxyEvalResult b = ProxyEvaluate(pool, g, proxy, /*seed=*/9);
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ranked[i].mean_val_accuracy,
+                     b.ranked[i].mean_val_accuracy);
+  }
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,255 @@
+// Property-style suites: randomized-composition gradient checks over the
+// autodiff engine, structural invariants of generated graphs and their
+// normalizations, and algebraic identities of the metrics — each swept via
+// parameterized gtest over seeds/configurations.
+#include <cmath>
+
+#include "autodiff/graph_ops.h"
+#include "autodiff/ops.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "metrics/kendall.h"
+#include "metrics/wilcoxon.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+using ::ahg::testing::ExpectGradientsMatch;
+
+// ---------------------------------------------------------------------------
+// Randomized composition grad checks: build a random smooth expression DAG
+// from two parameters and verify gradients numerically.
+class RandomDagGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagGradTest, CompositionMatchesFiniteDifferences) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng build_rng(seed);
+  Rng init_rng(seed ^ 0xffULL);
+  Var a = MakeParam(Matrix::Gaussian(3, 3, 0.5, &init_rng));
+  Var b = MakeParam(Matrix::Gaussian(3, 3, 0.5, &init_rng));
+  // Pre-sample the op sequence so every forward pass is identical.
+  std::vector<int> ops;
+  for (int i = 0; i < 6; ++i) {
+    ops.push_back(static_cast<int>(build_rng.UniformInt(6)));
+  }
+  auto make_loss = [&] {
+    Var x = a;
+    Var y = b;
+    for (int op : ops) {
+      switch (op) {
+        case 0:
+          x = Tanh(Add(x, y));
+          break;
+        case 1:
+          x = Sigmoid(MatMul(x, y));
+          break;
+        case 2:
+          y = CWiseMul(Sub(y, x), y);
+          break;
+        case 3:
+          x = RowSoftmaxOp(x);
+          break;
+        case 4:
+          y = ScalarMul(Add(y, x), 0.5);
+          break;
+        default:
+          x = Elu(Sub(x, ScalarMul(y, 0.3)));
+          break;
+      }
+    }
+    return SumAll(CWiseMul(x, Tanh(y)));
+  };
+  ExpectGradientsMatch(make_loss, {a, b}, 1e-6, 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagGradTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Graph invariants across randomized generator configurations.
+struct GraphCase {
+  uint64_t seed;
+  double homophily;
+  double power_law;
+  bool directed;
+  bool weighted;
+};
+
+class GraphInvariantTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(GraphInvariantTest, NormalizationInvariants) {
+  const GraphCase& tc = GetParam();
+  SyntheticConfig cfg;
+  cfg.num_nodes = 160;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 6;
+  cfg.avg_degree = 4.0;
+  cfg.homophily = tc.homophily;
+  cfg.power_law = tc.power_law;
+  cfg.directed = tc.directed;
+  cfg.weighted = tc.weighted;
+  cfg.seed = tc.seed;
+  Graph g = GenerateSbmGraph(cfg);
+
+  // Row-normalized adjacency: every row sums to ~1 (self loop guarantees a
+  // nonzero row).
+  {
+    const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kRowNorm);
+    std::vector<double> sums = adj.RowSums();
+    for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+  // Symmetric normalization is symmetric and has bounded spectral radius:
+  // |lambda| <= 1 implies the Rayleigh quotient of any vector is <= 1.
+  {
+    const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+    Matrix dense = adj.ToDense();
+    for (int i = 0; i < g.num_nodes(); i += 7) {
+      for (int j = 0; j < g.num_nodes(); j += 11) {
+        EXPECT_NEAR(dense(i, j), dense(j, i), 1e-12);
+      }
+    }
+    Rng rng(tc.seed ^ 0x11ULL);
+    Matrix v = Matrix::Gaussian(g.num_nodes(), 1, 1.0, &rng);
+    Matrix av = adj.Spmm(v);
+    EXPECT_LE(av.SquaredNorm(), v.SquaredNorm() * (1.0 + 1e-9));
+  }
+  // No NaNs anywhere in features.
+  for (int64_t i = 0; i < g.features().size(); ++i) {
+    EXPECT_FALSE(std::isnan(g.features().data()[i]));
+  }
+  // Labels in range.
+  for (int label : g.labels()) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, cfg.num_classes);
+  }
+}
+
+TEST_P(GraphInvariantTest, SpmmGradientOnRealAdjacency) {
+  const GraphCase& tc = GetParam();
+  SyntheticConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 4;
+  cfg.avg_degree = 3.0;
+  cfg.directed = tc.directed;
+  cfg.weighted = tc.weighted;
+  cfg.seed = tc.seed;
+  Graph g = GenerateSbmGraph(cfg);
+  Rng rng(tc.seed);
+  Var x = MakeParam(Matrix::Gaussian(g.num_nodes(), 3, 1.0, &rng));
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  ExpectGradientsMatch(
+      [&] {
+        Var y = Spmm(adj, x);
+        return SumAll(CWiseMul(y, y));
+      },
+      {x});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GraphInvariantTest,
+    ::testing::Values(GraphCase{1, 0.8, 0.0, false, false},
+                      GraphCase{2, 0.3, 0.0, false, true},
+                      GraphCase{3, 0.9, 0.7, false, false},
+                      GraphCase{4, 0.6, 0.0, true, true},
+                      GraphCase{5, 0.5, 0.5, true, false}));
+
+// ---------------------------------------------------------------------------
+// Metric identities.
+TEST(MetricPropertyTest, SoftmaxShiftInvariance) {
+  Rng rng(9);
+  Matrix x = Matrix::Gaussian(4, 5, 1.0, &rng);
+  Matrix shifted = x;
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) shifted(r, c) += 123.456;
+  }
+  EXPECT_TRUE(AllClose(RowSoftmax(x), RowSoftmax(shifted), 1e-9));
+}
+
+TEST(MetricPropertyTest, KendallSelfCorrelationIsOne) {
+  Rng rng(10);
+  std::vector<double> x(20);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_NEAR(KendallTau(x, x), 1.0, 1e-12);
+  std::vector<double> neg;
+  for (double v : x) neg.push_back(-v);
+  EXPECT_NEAR(KendallTau(x, neg), -1.0, 1e-12);
+}
+
+TEST(MetricPropertyTest, KendallInvariantToMonotoneTransform) {
+  Rng rng(11);
+  std::vector<double> x(15), y(15);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  std::vector<double> x_exp;
+  for (double v : x) x_exp.push_back(std::exp(v));
+  EXPECT_NEAR(KendallTau(x, y), KendallTau(x_exp, y), 1e-12);
+}
+
+TEST(MetricPropertyTest, WilcoxonSymmetricInArguments) {
+  Rng rng(12);
+  std::vector<double> a(10), b(10);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  EXPECT_NEAR(WilcoxonSignedRankTest(a, b), WilcoxonSignedRankTest(b, a),
+              1e-12);
+}
+
+TEST(MetricPropertyTest, WilcoxonPValueInUnitInterval) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3 + static_cast<int>(rng.UniformInt(20));
+    std::vector<double> a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      a[i] = rng.Normal();
+      b[i] = rng.Normal();
+    }
+    const double p = WilcoxonSignedRankTest(a, b);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Autodiff invariants under graph ops.
+TEST(AutodiffPropertyTest, SpmmLinearity) {
+  SparseMatrix a = SparseMatrix::FromCoo(
+      3, 3, {{0, 1, 2.0}, {1, 2, -1.0}, {2, 0, 0.5}});
+  Rng rng(14);
+  Var x = MakeConstant(Matrix::Gaussian(3, 2, 1.0, &rng));
+  Var y = MakeConstant(Matrix::Gaussian(3, 2, 1.0, &rng));
+  Var lhs = Spmm(a, Add(x, y));
+  Var rhs = Add(Spmm(a, x), Spmm(a, y));
+  EXPECT_TRUE(AllClose(lhs->value, rhs->value, 1e-12));
+}
+
+TEST(AutodiffPropertyTest, MeanOfIdenticalVarsIsIdentity) {
+  Rng rng(15);
+  Var x = MakeConstant(Matrix::Gaussian(3, 3, 1.0, &rng));
+  Var mean = MeanOfVars({x, x, x});
+  EXPECT_TRUE(AllClose(mean->value, x->value, 1e-12));
+}
+
+TEST(AutodiffPropertyTest, SoftmaxWeightedSumIsConvex) {
+  // Output entries lie within the min/max of the inputs entrywise.
+  Rng rng(16);
+  Var t1 = MakeConstant(Matrix::Gaussian(2, 2, 1.0, &rng));
+  Var t2 = MakeConstant(Matrix::Gaussian(2, 2, 1.0, &rng));
+  Var alpha = MakeParam(Matrix::Gaussian(1, 2, 2.0, &rng));
+  Var out = SoftmaxWeightedSum({t1, t2}, alpha);
+  for (int64_t i = 0; i < out->value.size(); ++i) {
+    const double lo = std::min(t1->value.data()[i], t2->value.data()[i]);
+    const double hi = std::max(t1->value.data()[i], t2->value.data()[i]);
+    EXPECT_GE(out->value.data()[i], lo - 1e-12);
+    EXPECT_LE(out->value.data()[i], hi + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ahg

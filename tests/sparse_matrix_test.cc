@@ -1,0 +1,83 @@
+#include "tensor/sparse_matrix.h"
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+SparseMatrix RandomSparse(int rows, int cols, int nnz, Rng* rng) {
+  std::vector<CooEntry> entries;
+  for (int i = 0; i < nnz; ++i) {
+    entries.push_back({static_cast<int>(rng->UniformInt(rows)),
+                       static_cast<int>(rng->UniformInt(cols)),
+                       rng->Normal()});
+  }
+  return SparseMatrix::FromCoo(rows, cols, std::move(entries));
+}
+
+TEST(SparseMatrixTest, FromCooMergesDuplicates) {
+  SparseMatrix m = SparseMatrix::FromCoo(
+      2, 2, {{0, 1, 2.0}, {0, 1, 3.0}, {1, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  Matrix d = m.ToDense();
+  EXPECT_EQ(d(0, 1), 5.0);
+  EXPECT_EQ(d(1, 0), 1.0);
+}
+
+TEST(SparseMatrixTest, SpmmMatchesDense) {
+  Rng rng(2);
+  SparseMatrix a = RandomSparse(7, 5, 12, &rng);
+  Matrix x = Matrix::Gaussian(5, 3, 1.0, &rng);
+  EXPECT_TRUE(AllClose(a.Spmm(x), MatMul(a.ToDense(), x), 1e-10));
+}
+
+TEST(SparseMatrixTest, SpmmTransposedMatchesDense) {
+  Rng rng(4);
+  SparseMatrix a = RandomSparse(7, 5, 12, &rng);
+  Matrix x = Matrix::Gaussian(7, 3, 1.0, &rng);
+  EXPECT_TRUE(
+      AllClose(a.SpmmTransposed(x), MatMul(Transpose(a.ToDense()), x), 1e-10));
+}
+
+TEST(SparseMatrixTest, TransposedMatchesDenseTranspose) {
+  Rng rng(6);
+  SparseMatrix a = RandomSparse(6, 4, 10, &rng);
+  EXPECT_TRUE(AllClose(a.Transposed().ToDense(), Transpose(a.ToDense()),
+                       1e-12));
+}
+
+TEST(SparseMatrixTest, RowSumsMatchDense) {
+  Rng rng(8);
+  SparseMatrix a = RandomSparse(5, 5, 9, &rng);
+  Matrix d = a.ToDense();
+  std::vector<double> sums = a.RowSums();
+  for (int r = 0; r < 5; ++r) {
+    double expected = 0.0;
+    for (int c = 0; c < 5; ++c) expected += d(r, c);
+    EXPECT_NEAR(sums[r], expected, 1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, EmptyRowsHandled) {
+  SparseMatrix m = SparseMatrix::FromCoo(3, 3, {{0, 0, 1.0}});
+  EXPECT_EQ(m.RowNnz(0), 1);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_EQ(m.RowNnz(2), 0);
+  Matrix x = Matrix::Constant(3, 2, 1.0);
+  Matrix y = m.Spmm(x);
+  EXPECT_EQ(y(1, 0), 0.0);
+  EXPECT_EQ(y(0, 0), 1.0);
+}
+
+TEST(SparseMatrixTest, RowPtrIsMonotone) {
+  Rng rng(10);
+  SparseMatrix a = RandomSparse(20, 20, 60, &rng);
+  for (int r = 0; r < 20; ++r) {
+    EXPECT_LE(a.row_ptr()[r], a.row_ptr()[r + 1]);
+  }
+  EXPECT_EQ(a.row_ptr()[20], a.nnz());
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,119 @@
+#include "graph/split.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+Graph SmallGraph() {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 8;
+  cfg.avg_degree = 3.0;
+  cfg.seed = 5;
+  return GenerateSbmGraph(cfg);
+}
+
+bool Disjoint(const std::vector<int>& a, const std::vector<int>& b) {
+  std::set<int> sa(a.begin(), a.end());
+  for (int x : b) {
+    if (sa.count(x)) return false;
+  }
+  return true;
+}
+
+TEST(SplitTest, RandomSplitPartitionsLabeledNodes) {
+  Graph g = SmallGraph();
+  Rng rng(1);
+  DataSplit split = RandomSplit(g, 0.6, 0.2, &rng);
+  EXPECT_EQ(split.train.size() + split.val.size() + split.test.size(),
+            g.LabeledNodes().size());
+  EXPECT_TRUE(Disjoint(split.train, split.val));
+  EXPECT_TRUE(Disjoint(split.train, split.test));
+  EXPECT_TRUE(Disjoint(split.val, split.test));
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 120.0, 2.0);
+}
+
+TEST(SplitTest, RandomSplitDeterministicGivenSeed) {
+  Graph g = SmallGraph();
+  Rng rng1(9), rng2(9);
+  DataSplit a = RandomSplit(g, 0.5, 0.2, &rng1);
+  DataSplit b = RandomSplit(g, 0.5, 0.2, &rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.val, b.val);
+}
+
+TEST(SplitTest, ResplitTrainValKeepsTestFixed) {
+  Graph g = SmallGraph();
+  Rng rng(2);
+  DataSplit base = RandomSplit(g, 0.5, 0.2, &rng);
+  DataSplit re = ResplitTrainVal(base, 0.3, &rng);
+  EXPECT_EQ(re.test, base.test);
+  EXPECT_EQ(re.train.size() + re.val.size(),
+            base.train.size() + base.val.size());
+  EXPECT_TRUE(Disjoint(re.train, re.val));
+  // The train/val pool is preserved as a set.
+  std::set<int> base_pool(base.train.begin(), base.train.end());
+  base_pool.insert(base.val.begin(), base.val.end());
+  std::set<int> re_pool(re.train.begin(), re.train.end());
+  re_pool.insert(re.val.begin(), re.val.end());
+  EXPECT_EQ(base_pool, re_pool);
+}
+
+TEST(SplitTest, PerClassSplitTakesExactlyPerClass) {
+  Graph g = SmallGraph();
+  Rng rng(3);
+  DataSplit split = PerClassSplit(g, 5, 30, 50, &rng);
+  EXPECT_EQ(split.train.size(), 20u);  // 4 classes x 5
+  std::vector<int> per_class(g.num_classes(), 0);
+  for (int node : split.train) ++per_class[g.labels()[node]];
+  for (int c = 0; c < g.num_classes(); ++c) EXPECT_EQ(per_class[c], 5);
+  EXPECT_EQ(split.val.size(), 30u);
+  EXPECT_EQ(split.test.size(), 50u);
+  EXPECT_TRUE(Disjoint(split.train, split.val));
+  EXPECT_TRUE(Disjoint(split.val, split.test));
+}
+
+TEST(LinkSplitTest, PartitionsAndBalancesEdges) {
+  Graph g = SmallGraph();
+  Rng rng(4);
+  LinkSplit split = MakeLinkSplit(g, 0.1, 0.2, &rng);
+  EXPECT_EQ(split.val_pos.size(), split.val_neg.size());
+  EXPECT_EQ(split.test_pos.size(), split.test_neg.size());
+  EXPECT_GT(split.train_pos.size(), 0u);
+  // The training graph lost exactly the held-out positives.
+  const size_t held_out = split.val_pos.size() + split.test_pos.size();
+  EXPECT_LE(split.train_graph.num_edges() + static_cast<int64_t>(held_out),
+            g.num_edges());
+}
+
+TEST(LinkSplitTest, NegativesAreNonEdges) {
+  Graph g = SmallGraph();
+  Rng rng(5);
+  LinkSplit split = MakeLinkSplit(g, 0.1, 0.1, &rng);
+  std::unordered_set<int64_t> edges;
+  for (const Edge& e : g.edges()) {
+    const int64_t a = std::min(e.src, e.dst);
+    const int64_t b = std::max(e.src, e.dst);
+    edges.insert(a * 100000 + b);
+  }
+  auto check = [&](const std::vector<NodePair>& negs) {
+    for (const NodePair& p : negs) {
+      const int64_t a = std::min(p.u, p.v);
+      const int64_t b = std::max(p.u, p.v);
+      EXPECT_EQ(edges.count(a * 100000 + b), 0u);
+      EXPECT_NE(p.u, p.v);
+    }
+  };
+  check(split.train_neg);
+  check(split.val_neg);
+  check(split.test_neg);
+}
+
+}  // namespace
+}  // namespace ahg

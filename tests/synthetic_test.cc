@@ -1,0 +1,196 @@
+#include "graph/synthetic.h"
+
+#include <cmath>
+
+#include "graph/sampling.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+double MeasuredHomophily(const Graph& g) {
+  int64_t same = 0;
+  for (const Edge& e : g.edges()) {
+    same += g.labels()[e.src] == g.labels()[e.dst];
+  }
+  return static_cast<double>(same) / static_cast<double>(g.num_edges());
+}
+
+TEST(SyntheticTest, RespectsNodeAndClassCounts) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 16;
+  cfg.seed = 1;
+  Graph g = GenerateSbmGraph(cfg);
+  EXPECT_EQ(g.num_nodes(), 500);
+  EXPECT_EQ(g.num_classes(), 5);
+  EXPECT_EQ(g.feature_dim(), 16);
+  // Balanced classes within a couple of nodes.
+  std::vector<int> counts(5, 0);
+  for (int label : g.labels()) ++counts[label];
+  for (int c = 0; c < 5; ++c) EXPECT_EQ(counts[c], 100);
+}
+
+TEST(SyntheticTest, EdgeCountNearTarget) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 800;
+  cfg.avg_degree = 4.0;
+  cfg.seed = 2;
+  Graph g = GenerateSbmGraph(cfg);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 3200.0, 200.0);
+}
+
+TEST(SyntheticTest, HomophilyControlsSameClassEdges) {
+  SyntheticConfig low;
+  low.num_nodes = 600;
+  low.num_classes = 4;
+  low.avg_degree = 6.0;
+  low.homophily = 0.2;
+  low.seed = 3;
+  SyntheticConfig high = low;
+  high.homophily = 0.9;
+  const double h_low = MeasuredHomophily(GenerateSbmGraph(low));
+  const double h_high = MeasuredHomophily(GenerateSbmGraph(high));
+  EXPECT_LT(h_low, 0.5);
+  EXPECT_GT(h_high, 0.8);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.seed = 77;
+  Graph a = GenerateSbmGraph(cfg);
+  Graph b = GenerateSbmGraph(cfg);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int64_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+  }
+  EXPECT_TRUE(AllClose(a.features(), b.features(), 0.0));
+}
+
+TEST(SyntheticTest, PowerLawSkewsDegrees) {
+  SyntheticConfig flat;
+  flat.num_nodes = 800;
+  flat.avg_degree = 6.0;
+  flat.power_law = 0.0;
+  flat.seed = 4;
+  SyntheticConfig skewed = flat;
+  skewed.power_law = 0.8;
+  auto max_degree = [](const Graph& g) {
+    std::vector<int> deg(g.num_nodes(), 0);
+    for (const Edge& e : g.edges()) {
+      ++deg[e.src];
+      ++deg[e.dst];
+    }
+    return *std::max_element(deg.begin(), deg.end());
+  };
+  EXPECT_GT(max_degree(GenerateSbmGraph(skewed)),
+            max_degree(GenerateSbmGraph(flat)));
+}
+
+TEST(SyntheticTest, WeightedEdgesInRange) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.weighted = true;
+  cfg.seed = 5;
+  Graph g = GenerateSbmGraph(cfg);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LT(e.weight, 2.0);
+  }
+}
+
+TEST(SyntheticTest, FeaturelessStyleProducesEmptyFeatures) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.feature_style = FeatureStyle::kNone;
+  cfg.seed = 6;
+  Graph g = GenerateSbmGraph(cfg);
+  EXPECT_EQ(g.feature_dim(), 0);
+}
+
+TEST(SyntheticTest, BinaryBowFeaturesAreBinary) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.feature_style = FeatureStyle::kBinaryBow;
+  cfg.seed = 7;
+  Graph g = GenerateSbmGraph(cfg);
+  for (int64_t i = 0; i < g.features().size(); ++i) {
+    const double v = g.features().data()[i];
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+class PresetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PresetTest, BuildsAndHasUsableFeatures) {
+  // arxiv-syn is exercised separately (it is the large preset).
+  Graph g = MakePresetGraph(GetParam(), /*seed=*/11);
+  EXPECT_GT(g.num_nodes(), 0);
+  EXPECT_GT(g.num_edges(), 0);
+  EXPECT_GT(g.feature_dim(), 0);  // E gets degree features synthesized
+  EXPECT_GT(g.num_classes(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallPresets, PresetTest,
+                         ::testing::Values("A", "B", "C", "D", "E",
+                                           "cora-syn", "citeseer-syn",
+                                           "pubmed-syn"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PresetTest, TableOneShapeStatistics) {
+  // Table I of the paper: A is Cora-sized with 7 classes, B Citeseer-sized
+  // with 6, D is directed+weighted, E has no intrinsic features.
+  EXPECT_EQ(PresetConfig("A").num_classes, 7);
+  EXPECT_EQ(PresetConfig("A").num_nodes, 2708);
+  EXPECT_EQ(PresetConfig("B").num_classes, 6);
+  EXPECT_TRUE(PresetConfig("D").directed);
+  EXPECT_TRUE(PresetConfig("D").weighted);
+  EXPECT_EQ(PresetConfig("E").feature_style, FeatureStyle::kNone);
+}
+
+TEST(PresetTest, UnknownPresetAborts) {
+  EXPECT_DEATH(PresetConfig("does-not-exist"), "unknown synthetic preset");
+}
+
+TEST(SamplingTest, InducedSubgraphKeepsOnlyInternalEdges) {
+  Graph g = MakePresetGraph("A", 3);
+  Rng rng(8);
+  Subgraph sub = SampleInducedSubgraph(g, 0.3, &rng);
+  EXPECT_NEAR(static_cast<double>(sub.graph.num_nodes()),
+              0.3 * g.num_nodes(), 2.0);
+  // Every subgraph edge maps to an original edge between sampled nodes.
+  for (const Edge& e : sub.graph.edges()) {
+    EXPECT_LT(e.src, sub.graph.num_nodes());
+    EXPECT_LT(e.dst, sub.graph.num_nodes());
+  }
+  // Labels and features carried over.
+  for (int i = 0; i < sub.graph.num_nodes(); ++i) {
+    EXPECT_EQ(sub.graph.labels()[i], g.labels()[sub.node_map[i]]);
+    EXPECT_EQ(sub.graph.features()(i, 0), g.features()(sub.node_map[i], 0));
+  }
+}
+
+TEST(SamplingTest, ProjectSplitMapsIndices) {
+  Graph g = MakePresetGraph("A", 3);
+  Rng rng(9);
+  Subgraph sub = SampleInducedSubgraph(g, 0.5, &rng);
+  DataSplit split;
+  split.train = {sub.node_map[0], sub.node_map[1]};
+  split.val = {sub.node_map[2]};
+  DataSplit projected = ProjectSplit(sub, split, g.num_nodes());
+  EXPECT_EQ(projected.train, (std::vector<int>{0, 1}));
+  EXPECT_EQ(projected.val, (std::vector<int>{2}));
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,54 @@
+// Finite-difference gradient checking shared by the autodiff tests.
+//
+// `make_loss` must rebuild the computation graph from the *current* values
+// of `params` on every call and return a scalar Var. Any stochastic op
+// inside (e.g. Dropout) must draw from a freshly re-seeded Rng so repeated
+// forwards are identical.
+#ifndef AUTOHENS_TESTS_TESTING_GRADCHECK_H_
+#define AUTOHENS_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autodiff/variable.h"
+#include "gtest/gtest.h"
+
+namespace ahg::testing {
+
+inline void ExpectGradientsMatch(const std::function<Var()>& make_loss,
+                                 const std::vector<Var>& params,
+                                 double eps = 1e-6, double tol = 1e-5) {
+  // Analytic gradients.
+  for (const Var& p : params) {
+    p->grad = Matrix();
+    p->EnsureGrad();
+  }
+  Var loss = make_loss();
+  Backward(loss);
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Var& p : params) analytic.push_back(p->grad);
+
+  // Central differences, every entry.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Var p = params[pi];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const double saved = p->value.data()[i];
+      p->value.data()[i] = saved + eps;
+      const double up = make_loss()->value(0, 0);
+      p->value.data()[i] = saved - eps;
+      const double down = make_loss()->value(0, 0);
+      p->value.data()[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double exact = analytic[pi].data()[i];
+      const double scale = std::max({1.0, std::abs(numeric), std::abs(exact)});
+      EXPECT_NEAR(exact, numeric, tol * scale)
+          << "param " << pi << " entry " << i;
+    }
+  }
+}
+
+}  // namespace ahg::testing
+
+#endif  // AUTOHENS_TESTS_TESTING_GRADCHECK_H_
