@@ -1,6 +1,8 @@
 // google-benchmark microbenchmarks of the tensor/autodiff kernels the whole
 // system is built on: GEMM, SpMM, the GAT edge-softmax aggregation, and a
-// full GCN forward+backward step.
+// full GCN forward+backward step — plus a threads=1/2/4 sweep of the
+// row-parallel SpMM/GEMM kernels on a 50k-node SBM graph that reports the
+// parallel speedup directly (counters `speedup_vs_1t`).
 #include <benchmark/benchmark.h>
 
 #include "autodiff/graph_ops.h"
@@ -11,6 +13,8 @@
 #include "nn/linear.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -93,6 +97,107 @@ void BM_GcnTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GcnTrainStep);
+
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep: the same kernels at threads = 1/2/4 on a graph big
+// enough (50k nodes, ~800k directed edges) that row-parallelism dominates
+// scheduling overhead. items_per_second across the /threads:N lines gives
+// the scaling curve; BM_SpmmSpeedup additionally reports the ratio.
+// ---------------------------------------------------------------------------
+
+const Graph& BenchGraphLarge() {
+  static const Graph* graph = [] {
+    SyntheticConfig cfg;
+    cfg.num_nodes = 50000;
+    cfg.num_classes = 10;
+    cfg.feature_dim = 16;
+    cfg.avg_degree = 16.0;
+    cfg.seed = 11;
+    return new Graph(GenerateSbmGraph(cfg));
+  }();
+  return *graph;
+}
+
+void BM_SpmmThreads(benchmark::State& state) {
+  ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const Graph& g = BenchGraphLarge();
+  Rng rng(12);
+  Matrix x = Matrix::Gaussian(g.num_nodes(), 64, 1.0, &rng);
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Spmm(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 64);
+}
+BENCHMARK(BM_SpmmThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_SpmmTransposedThreads(benchmark::State& state) {
+  ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const Graph& g = BenchGraphLarge();
+  Rng rng(13);
+  Matrix x = Matrix::Gaussian(g.num_nodes(), 64, 1.0, &rng);
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  adj.TransposedCached();  // exclude the one-time transpose build
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.SpmmTransposed(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 64);
+}
+BENCHMARK(BM_SpmmTransposedThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_MatMulThreads(benchmark::State& state) {
+  ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(14);
+  Matrix a = Matrix::Gaussian(50000, 64, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(64, 64, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{50000} * 64 * 64);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_MatMulTransAThreads(benchmark::State& state) {
+  // The backward GEMM (grad_W = X^T dY): chunked deterministic reduction.
+  ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(15);
+  Matrix a = Matrix::Gaussian(50000, 64, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(50000, 64, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransA(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{50000} * 64 * 64);
+}
+BENCHMARK(BM_MatMulTransAThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Times SpMM at 1/2/4 threads inside one benchmark run and reports the
+// speedup ratios as counters (speedup_2t, speedup_4t).
+void BM_SpmmSpeedup(benchmark::State& state) {
+  const Graph& g = BenchGraphLarge();
+  Rng rng(16);
+  Matrix x = Matrix::Gaussian(g.num_nodes(), 64, 1.0, &rng);
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  auto best_seconds = [&](int nthreads) {
+    ScopedNumThreads scoped(nthreads);
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      Stopwatch watch;
+      benchmark::DoNotOptimize(adj.Spmm(x));
+      best = std::min(best, watch.ElapsedSeconds());
+    }
+    return best;
+  };
+  double t1 = 0.0, t2 = 0.0, t4 = 0.0;
+  for (auto _ : state) {
+    t1 = best_seconds(1);
+    t2 = best_seconds(2);
+    t4 = best_seconds(4);
+  }
+  state.counters["t1_ms"] = 1e3 * t1;
+  state.counters["speedup_2t"] = t1 / t2;
+  state.counters["speedup_4t"] = t1 / t4;
+}
+BENCHMARK(BM_SpmmSpeedup)->Iterations(1)->UseRealTime();
 
 void BM_BackwardOverhead(benchmark::State& state) {
   // Chain of elementwise ops: measures tape traversal cost.

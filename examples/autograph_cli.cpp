@@ -5,7 +5,11 @@
 //
 // Usage:
 //   autograph_cli --data DIR [--algo adaptive|gradient] [--pool N] [--k K]
-//                 [--seed S] [--out FILE] [--nas]
+//                 [--seed S] [--out FILE] [--nas] [--threads T]
+//
+// --threads T pins the kernel thread count (SpMM/GEMM row-parallelism);
+// when omitted the hardware default is used. Results are bitwise identical
+// for every T (fixed row partitioning, no atomic reductions).
 //
 // With --nas, a random-architecture-search pass (the paper's future-work
 // extension) injects two proxy-ranked novel configurations into the
@@ -22,6 +26,7 @@
 #include "graph/synthetic.h"
 #include "io/autograph_format.h"
 #include "models/model_zoo.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -44,6 +49,9 @@ bool HasFlag(int argc, char** argv, const char* name) {
 
 int main(int argc, char** argv) {
   using namespace ahg;
+  const int threads = std::atoi(FlagValue(argc, argv, "--threads", "0"));
+  if (threads > 0) SetNumThreads(threads);
+  std::printf("kernel threads: %d\n", GetNumThreads());
   std::string data_dir = FlagValue(argc, argv, "--data", "");
   if (data_dir.empty()) {
     // Demo mode: publish a synthetic dataset first.
@@ -88,6 +96,7 @@ int main(int argc, char** argv) {
   config.proxy.train.max_epochs = 25;
   config.train.max_epochs = 50;
   config.train.patience = 10;
+  config.train.num_threads = threads;  // 0 = keep the global setting
   config.train.learning_rate = 2e-2;
   config.bagging_splits = 2;
   config.time_budget_seconds = ds.time_budget_seconds;

@@ -8,6 +8,12 @@ namespace ahg {
 Var Spmm(const SparseMatrix& a, const Var& x) {
   Matrix out = a.Spmm(x->value);
   const SparseMatrix* a_ptr = &a;
+  // The backward runs A^T * grad through the cached explicit transpose,
+  // which keeps every output row owned by a single worker (bitwise
+  // deterministic row-parallelism, no atomics). Build the cache now, while
+  // we are outside any parallel region, so the first backward pass is not
+  // serialized behind the lazy construction.
+  if (x->requires_grad) a.TransposedCached();
   return MakeOpNode(std::move(out), {x}, [a_ptr, x](const Node& n) {
     if (!x->requires_grad) return;
     x->EnsureGrad();

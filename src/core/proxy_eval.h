@@ -22,7 +22,11 @@ struct ProxyConfig {
   double train_fraction = 0.6;
   double val_fraction = 0.2;
   bool grid_search = false;  // per-candidate lr/dropout search
-  int num_threads = 1;       // parallel candidate evaluation
+  // Candidate-level parallelism (one worker per proxy model). Kernel-level
+  // threads inside each candidate come from train.num_threads / the global
+  // SetNumThreads() setting and automatically run inline when candidates
+  // already execute in parallel (nested regions never spawn).
+  int num_threads = 1;
   TrainConfig train;
 };
 

@@ -5,6 +5,7 @@
 #include "nn/linear.h"
 #include "nn/optimizer.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ahg {
 
@@ -13,6 +14,12 @@ NodeTrainResult TrainSingleNodeModel(const ModelConfig& model_config,
                                      const DataSplit& split,
                                      const TrainConfig& train_config) {
   Stopwatch watch;
+  // Apply the per-config kernel-thread override for the duration of this
+  // training run. Skipped inside a parallel region (proxy evaluation trains
+  // candidates concurrently): kernels run inline there, and mutating the
+  // global setting from worker threads would race across candidates.
+  ScopedNumThreads scoped_threads(
+      InParallelRegion() ? 0 : train_config.num_threads);
   ModelConfig cfg = model_config;
   cfg.in_dim = graph.feature_dim();
   AHG_CHECK_GT(cfg.in_dim, 0);

@@ -21,6 +21,10 @@ struct TrainConfig {
   double lr_decay = 0.9;
   int lr_decay_every = 3;
   uint64_t seed = 1;  // dropout-noise seed (weight init comes from the model)
+  // Kernel threads (SpMM/GEMM) while this model trains; 0 keeps the global
+  // SetNumThreads() setting. Ignored when training already runs inside a
+  // parallel region (e.g. proxy evaluation), where kernels execute inline.
+  int num_threads = 0;
 };
 
 struct NodeTrainResult {

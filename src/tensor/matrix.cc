@@ -6,6 +6,7 @@
 
 #include "tensor/alloc_tracker.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ahg {
 
@@ -138,49 +139,83 @@ double Matrix::SquaredNorm() const {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   AHG_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order: streams through rows of b for cache friendliness.
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c.Row(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.Row(k);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  // Row-parallel: each output row is owned by one worker and accumulated in
+  // the same i-k-j order (streaming rows of b) as the sequential kernel, so
+  // the result is bitwise identical for every thread count.
+  const int64_t work_per_row = int64_t{a.cols()} * b.cols();
+  ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const double* arow = a.Row(static_cast<int>(i));
+      double* crow = c.Row(static_cast<int>(i));
+      for (int k = 0; k < a.cols(); ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = b.Row(k);
+        for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   AHG_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* arow = a.Row(k);
-    const double* brow = b.Row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.Row(i);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
+  // Every output entry sums over all of a's rows, so rows of c cannot be
+  // handed to one worker each without scattering. Instead partition the
+  // reduction dimension into chunks of a *fixed* size (independent of the
+  // thread count), give each worker whole chunks to accumulate privately,
+  // and reduce the partials in chunk order on the calling thread. The
+  // chunk grid and the reduction order are pure functions of the shapes,
+  // so results are bitwise identical for every thread count.
+  constexpr int64_t kReduceChunk = 2048;  // rows of a per partial
+  const int64_t n = a.rows();
+  const int64_t num_chunks = std::max<int64_t>(1, (n + kReduceChunk - 1) / kReduceChunk);
+  const int64_t work_per_chunk =
+      kReduceChunk * int64_t{a.cols()} * b.cols();
+  // Partials are allocated on the calling thread; workers only fill them.
+  std::vector<Matrix> partial;
+  partial.reserve(num_chunks);
+  for (int64_t p = 0; p < num_chunks; ++p) {
+    partial.emplace_back(a.cols(), b.cols());
   }
+  ParallelForChunked(num_chunks, work_per_chunk,
+                     [&](int64_t begin, int64_t end) {
+    for (int64_t p = begin; p < end; ++p) {
+      Matrix& local = partial[p];
+      const int64_t k_end = std::min(n, (p + 1) * kReduceChunk);
+      for (int64_t k = p * kReduceChunk; k < k_end; ++k) {
+        const double* arow = a.Row(static_cast<int>(k));
+        const double* brow = b.Row(static_cast<int>(k));
+        for (int i = 0; i < a.cols(); ++i) {
+          const double aki = arow[i];
+          if (aki == 0.0) continue;
+          double* crow = local.Row(i);
+          for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+        }
+      }
+    }
+  });
+  for (int64_t p = 0; p < num_chunks; ++p) c.AddInPlace(partial[p]);
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   AHG_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c.Row(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* brow = b.Row(j);
-      double dot = 0.0;
-      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
-      crow[j] = dot;
+  const int64_t work_per_row = int64_t{a.cols()} * b.rows();
+  ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const double* arow = a.Row(static_cast<int>(i));
+      double* crow = c.Row(static_cast<int>(i));
+      for (int j = 0; j < b.rows(); ++j) {
+        const double* brow = b.Row(j);
+        double dot = 0.0;
+        for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+        crow[j] = dot;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -219,33 +254,40 @@ Matrix Scale(const Matrix& a, double alpha) {
 
 Matrix RowSoftmax(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const double* in = a.Row(r);
-    double* dst = out.Row(r);
-    double max_val = in[0];
-    for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
-    double total = 0.0;
-    for (int c = 0; c < a.cols(); ++c) {
-      dst[c] = std::exp(in[c] - max_val);
-      total += dst[c];
+  // Row-owned, so parallel execution is bitwise identical to sequential.
+  ParallelForChunked(a.rows(), 4 * a.cols(), [&](int64_t begin, int64_t end) {
+    for (int64_t ri = begin; ri < end; ++ri) {
+      const int r = static_cast<int>(ri);
+      const double* in = a.Row(r);
+      double* dst = out.Row(r);
+      double max_val = in[0];
+      for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
+      double total = 0.0;
+      for (int c = 0; c < a.cols(); ++c) {
+        dst[c] = std::exp(in[c] - max_val);
+        total += dst[c];
+      }
+      for (int c = 0; c < a.cols(); ++c) dst[c] /= total;
     }
-    for (int c = 0; c < a.cols(); ++c) dst[c] /= total;
-  }
+  });
   return out;
 }
 
 Matrix RowLogSoftmax(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const double* in = a.Row(r);
-    double* dst = out.Row(r);
-    double max_val = in[0];
-    for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
-    double total = 0.0;
-    for (int c = 0; c < a.cols(); ++c) total += std::exp(in[c] - max_val);
-    const double log_total = std::log(total) + max_val;
-    for (int c = 0; c < a.cols(); ++c) dst[c] = in[c] - log_total;
-  }
+  ParallelForChunked(a.rows(), 4 * a.cols(), [&](int64_t begin, int64_t end) {
+    for (int64_t ri = begin; ri < end; ++ri) {
+      const int r = static_cast<int>(ri);
+      const double* in = a.Row(r);
+      double* dst = out.Row(r);
+      double max_val = in[0];
+      for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
+      double total = 0.0;
+      for (int c = 0; c < a.cols(); ++c) total += std::exp(in[c] - max_val);
+      const double log_total = std::log(total) + max_val;
+      for (int c = 0; c < a.cols(); ++c) dst[c] = in[c] - log_total;
+    }
+  });
   return out;
 }
 

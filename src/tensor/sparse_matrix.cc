@@ -1,11 +1,15 @@
 #include "tensor/sparse_matrix.h"
 
 #include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "util/thread_pool.h"
 
 namespace ahg {
 
-SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
-                                   std::vector<CooEntry> entries) {
+SparseMatrix SparseMatrix::BuildFromValidCoo(int rows, int cols,
+                                             std::vector<CooEntry> entries) {
   SparseMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;
@@ -18,7 +22,6 @@ SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
   m.values_.reserve(entries.size());
   for (size_t i = 0; i < entries.size();) {
     const CooEntry& e = entries[i];
-    AHG_CHECK(e.row >= 0 && e.row < rows && e.col >= 0 && e.col < cols);
     double value = 0.0;
     size_t j = i;
     // Merge duplicates of the same coordinate.
@@ -36,32 +39,63 @@ SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
   return m;
 }
 
+SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
+                                   std::vector<CooEntry> entries) {
+  AHG_CHECK_GE(rows, 0);
+  AHG_CHECK_GE(cols, 0);
+  for (const CooEntry& e : entries) {
+    AHG_CHECK_MSG(e.row >= 0 && e.row < rows && e.col >= 0 && e.col < cols,
+                  "entry (" << e.row << ", " << e.col << ") outside " << rows
+                            << " x " << cols);
+  }
+  return BuildFromValidCoo(rows, cols, std::move(entries));
+}
+
+StatusOr<SparseMatrix> SparseMatrix::FromCooChecked(
+    int rows, int cols, std::vector<CooEntry> entries) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative sparse matrix shape " +
+                                   std::to_string(rows) + " x " +
+                                   std::to_string(cols));
+  }
+  for (const CooEntry& e : entries) {
+    if (e.row < 0 || e.row >= rows || e.col < 0 || e.col >= cols) {
+      return Status::InvalidArgument(
+          "coo entry (" + std::to_string(e.row) + ", " +
+          std::to_string(e.col) + ") outside " + std::to_string(rows) +
+          " x " + std::to_string(cols));
+    }
+  }
+  return BuildFromValidCoo(rows, cols, std::move(entries));
+}
+
 Matrix SparseMatrix::Spmm(const Matrix& x) const {
   AHG_CHECK_EQ(x.rows(), cols_);
   Matrix y(rows_, x.cols());
-  for (int r = 0; r < rows_; ++r) {
-    double* yrow = y.Row(r);
-    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double v = values_[i];
-      const double* xrow = x.Row(col_idx_[i]);
-      for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+  // Per-row cost estimate for the min-grain threshold: average nnz times
+  // the dense width.
+  const int64_t work_per_row =
+      rows_ > 0 ? std::max<int64_t>(1, nnz() / rows_) * x.cols() : 1;
+  ParallelForChunked(rows_, work_per_row, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      double* yrow = y.Row(static_cast<int>(r));
+      for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+        const double v = values_[i];
+        const double* xrow = x.Row(col_idx_[i]);
+        for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   return y;
 }
 
 Matrix SparseMatrix::SpmmTransposed(const Matrix& x) const {
   AHG_CHECK_EQ(x.rows(), rows_);
-  Matrix y(cols_, x.cols());
-  for (int r = 0; r < rows_; ++r) {
-    const double* xrow = x.Row(r);
-    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double v = values_[i];
-      double* yrow = y.Row(col_idx_[i]);
-      for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
-    }
-  }
-  return y;
+  // The scatter form (y[col] += ...) cannot be row-partitioned, so run the
+  // gather form on the cached transpose: output row j accumulates sources in
+  // increasing original-row order — the same summation order as the scatter
+  // loop, hence bitwise identical to it, and each row is worker-owned.
+  return TransposedCached().Spmm(x);
 }
 
 SparseMatrix SparseMatrix::Transposed() const {
@@ -73,6 +107,25 @@ SparseMatrix SparseMatrix::Transposed() const {
     }
   }
   return FromCoo(cols_, rows_, std::move(entries));
+}
+
+const SparseMatrix& SparseMatrix::TransposedCached() const {
+  // One process-wide mutex guards lazy publication for all instances;
+  // builds are rare (once per adjacency) and the post-init critical section
+  // is a pointer copy.
+  static std::mutex mu;
+  std::shared_ptr<const SparseMatrix> cached;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    cached = transpose_cache_;
+  }
+  if (cached == nullptr) {
+    auto built = std::make_shared<const SparseMatrix>(Transposed());
+    std::lock_guard<std::mutex> lock(mu);
+    if (transpose_cache_ == nullptr) transpose_cache_ = std::move(built);
+    cached = transpose_cache_;
+  }
+  return *cached;
 }
 
 std::vector<double> SparseMatrix::RowSums() const {

@@ -4,6 +4,18 @@
 #include <atomic>
 
 namespace ahg {
+namespace {
+
+// 0 means "unset": fall back to hardware concurrency.
+std::atomic<int> g_num_threads{0};
+
+constexpr int64_t kDefaultMinParallelWork = 32768;
+std::atomic<int64_t> g_min_parallel_work{kDefaultMinParallelWork};
+
+// Depth of parallel regions on this thread; > 0 inside a worker task.
+thread_local int tl_parallel_depth = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -59,8 +71,48 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void SetNumThreads(int num_threads) {
+  g_num_threads.store(std::max(0, num_threads), std::memory_order_relaxed);
+}
+
+int GetNumThreads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::max(1, n);
+}
+
+bool InParallelRegion() { return tl_parallel_depth > 0; }
+
+ScopedNumThreads::ScopedNumThreads(int num_threads)
+    : saved_(g_num_threads.load(std::memory_order_relaxed)),
+      active_(num_threads > 0) {
+  if (active_) SetNumThreads(num_threads);
+}
+
+ScopedNumThreads::~ScopedNumThreads() {
+  if (active_) g_num_threads.store(saved_, std::memory_order_relaxed);
+}
+
+void SetMinParallelWork(int64_t min_work) {
+  g_min_parallel_work.store(std::max<int64_t>(1, min_work),
+                            std::memory_order_relaxed);
+}
+
+int64_t GetMinParallelWork() {
+  return g_min_parallel_work.load(std::memory_order_relaxed);
+}
+
+ScopedMinParallelWork::ScopedMinParallelWork(int64_t min_work)
+    : saved_(GetMinParallelWork()) {
+  if (min_work > 0) SetMinParallelWork(min_work);
+}
+
+ScopedMinParallelWork::~ScopedMinParallelWork() { SetMinParallelWork(saved_); }
+
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn) {
-  if (num_threads <= 1 || n <= 1) {
+  if (num_threads <= 1 || n <= 1 || tl_parallel_depth > 0) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -68,7 +120,43 @@ void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn) {
   std::atomic<int> next{0};
   for (int w = 0; w < pool.num_threads(); ++w) {
     pool.Submit([&] {
+      ++tl_parallel_depth;
       for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      --tl_parallel_depth;
+    });
+  }
+  pool.Wait();
+}
+
+void ParallelForChunked(int64_t n, int64_t work_per_item,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  work_per_item = std::max<int64_t>(1, work_per_item);
+  const int threads = GetNumThreads();
+  if (threads <= 1 || tl_parallel_depth > 0 ||
+      n * work_per_item <= GetMinParallelWork()) {
+    fn(0, n);
+    return;
+  }
+  // Chunk count: enough for dynamic load balancing (4 per worker), capped so
+  // every chunk still clears the min-grain threshold.
+  const int64_t by_grain =
+      std::max<int64_t>(1, n * work_per_item / GetMinParallelWork());
+  const int64_t num_chunks =
+      std::min<int64_t>({n, by_grain, int64_t{threads} * 4});
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  const int workers = static_cast<int>(std::min<int64_t>(threads, num_chunks));
+  ThreadPool pool(workers);
+  std::atomic<int64_t> next{0};
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&] {
+      ++tl_parallel_depth;
+      for (int64_t c = next.fetch_add(1); c * chunk < n;
+           c = next.fetch_add(1)) {
+        const int64_t begin = c * chunk;
+        fn(begin, std::min<int64_t>(begin + chunk, n));
+      }
+      --tl_parallel_depth;
     });
   }
   pool.Wait();

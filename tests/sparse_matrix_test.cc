@@ -70,6 +70,50 @@ TEST(SparseMatrixTest, EmptyRowsHandled) {
   EXPECT_EQ(y(0, 0), 1.0);
 }
 
+TEST(SparseMatrixTest, FromCooCheckedRejectsOutOfRangeEntries) {
+  StatusOr<SparseMatrix> bad_row =
+      SparseMatrix::FromCooChecked(2, 2, {{2, 0, 1.0}});
+  ASSERT_FALSE(bad_row.ok());
+  EXPECT_EQ(bad_row.status().code(), Status::Code::kInvalidArgument);
+
+  StatusOr<SparseMatrix> bad_col =
+      SparseMatrix::FromCooChecked(2, 2, {{0, -1, 1.0}});
+  ASSERT_FALSE(bad_col.ok());
+
+  StatusOr<SparseMatrix> bad_shape =
+      SparseMatrix::FromCooChecked(-1, 2, {});
+  ASSERT_FALSE(bad_shape.ok());
+
+  StatusOr<SparseMatrix> good =
+      SparseMatrix::FromCooChecked(2, 2, {{0, 1, 2.0}, {1, 0, 1.0}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().nnz(), 2);
+}
+
+TEST(SparseMatrixDeathTest, FromCooAbortsOnOutOfRangeEntry) {
+  EXPECT_DEATH(SparseMatrix::FromCoo(2, 2, {{0, 5, 1.0}}), "outside");
+  EXPECT_DEATH(SparseMatrix::FromCoo(-3, 2, {}), "");
+}
+
+TEST(SparseMatrixDeathTest, RowNnzAbortsOutOfBounds) {
+  SparseMatrix m = SparseMatrix::FromCoo(3, 3, {{0, 0, 1.0}});
+  EXPECT_EQ(m.RowNnz(2), 0);
+  EXPECT_DEATH(m.RowNnz(3), "");
+  EXPECT_DEATH(m.RowNnz(-1), "");
+}
+
+TEST(SparseMatrixTest, SpmmTransposedUsesCacheAfterValueMutation) {
+  // mutable_values() must invalidate the cached transpose, or
+  // SpmmTransposed would keep multiplying stale values.
+  Rng rng(12);
+  SparseMatrix a = RandomSparse(6, 4, 9, &rng);
+  Matrix x = Matrix::Gaussian(6, 2, 1.0, &rng);
+  (void)a.SpmmTransposed(x);  // build the cache
+  for (double& v : *a.mutable_values()) v *= 2.0;
+  EXPECT_TRUE(AllClose(a.SpmmTransposed(x),
+                       MatMul(Transpose(a.ToDense()), x), 1e-10));
+}
+
 TEST(SparseMatrixTest, RowPtrIsMonotone) {
   Rng rng(10);
   SparseMatrix a = RandomSparse(20, 20, 60, &rng);
