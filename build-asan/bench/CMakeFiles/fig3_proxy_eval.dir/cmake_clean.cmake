@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_proxy_eval.dir/fig3_proxy_eval.cc.o"
+  "CMakeFiles/fig3_proxy_eval.dir/fig3_proxy_eval.cc.o.d"
+  "fig3_proxy_eval"
+  "fig3_proxy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_proxy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

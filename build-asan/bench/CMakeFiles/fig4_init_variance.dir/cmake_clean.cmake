@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_init_variance.dir/fig4_init_variance.cc.o"
+  "CMakeFiles/fig4_init_variance.dir/fig4_init_variance.cc.o.d"
+  "fig4_init_variance"
+  "fig4_init_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_init_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_split_variance.dir/fig5_split_variance.cc.o"
+  "CMakeFiles/fig5_split_variance.dir/fig5_split_variance.cc.o.d"
+  "fig5_split_variance"
+  "fig5_split_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_split_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_k_n_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_adaptive_params.dir/fig7_adaptive_params.cc.o"
+  "CMakeFiles/fig7_adaptive_params.dir/fig7_adaptive_params.cc.o.d"
+  "fig7_adaptive_params"
+  "fig7_adaptive_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_adaptive_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_adaptive_params.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pool_size_time.dir/fig8_pool_size_time.cc.o"
+  "CMakeFiles/fig8_pool_size_time.dir/fig8_pool_size_time.cc.o.d"
+  "fig8_pool_size_time"
+  "fig8_pool_size_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pool_size_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

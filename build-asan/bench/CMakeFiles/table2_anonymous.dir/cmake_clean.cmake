@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_anonymous.dir/table2_anonymous.cc.o"
+  "CMakeFiles/table2_anonymous.dir/table2_anonymous.cc.o.d"
+  "table2_anonymous"
+  "table2_anonymous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_anonymous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

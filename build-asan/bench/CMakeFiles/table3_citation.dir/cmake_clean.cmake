@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_citation.dir/table3_citation.cc.o"
+  "CMakeFiles/table3_citation.dir/table3_citation.cc.o.d"
+  "table3_citation"
+  "table3_citation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_citation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

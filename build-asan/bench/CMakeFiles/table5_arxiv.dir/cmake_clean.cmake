@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_arxiv.dir/table5_arxiv.cc.o"
+  "CMakeFiles/table5_arxiv.dir/table5_arxiv.cc.o.d"
+  "table5_arxiv"
+  "table5_arxiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_arxiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_runtime.dir/table6_runtime.cc.o"
+  "CMakeFiles/table6_runtime.dir/table6_runtime.cc.o.d"
+  "table6_runtime"
+  "table6_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

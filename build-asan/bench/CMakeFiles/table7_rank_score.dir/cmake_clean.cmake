@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_rank_score.dir/table7_rank_score.cc.o"
+  "CMakeFiles/table7_rank_score.dir/table7_rank_score.cc.o.d"
+  "table7_rank_score"
+  "table7_rank_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_rank_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_edge_prediction.dir/table8_edge_prediction.cc.o"
+  "CMakeFiles/table8_edge_prediction.dir/table8_edge_prediction.cc.o.d"
+  "table8_edge_prediction"
+  "table8_edge_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_edge_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

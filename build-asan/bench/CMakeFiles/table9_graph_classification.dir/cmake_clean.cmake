@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_graph_classification.dir/table9_graph_classification.cc.o"
+  "CMakeFiles/table9_graph_classification.dir/table9_graph_classification.cc.o.d"
+  "table9_graph_classification"
+  "table9_graph_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_graph_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

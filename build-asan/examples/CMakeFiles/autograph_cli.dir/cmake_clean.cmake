@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograph_cli.dir/autograph_cli.cpp.o"
+  "CMakeFiles/autograph_cli.dir/autograph_cli.cpp.o.d"
+  "autograph_cli"
+  "autograph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_classification.dir/graph_classification.cpp.o"
+  "CMakeFiles/graph_classification.dir/graph_classification.cpp.o.d"
+  "graph_classification"
+  "graph_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kddcup_autograph.dir/kddcup_autograph.cpp.o"
+  "CMakeFiles/kddcup_autograph.dir/kddcup_autograph.cpp.o.d"
+  "kddcup_autograph"
+  "kddcup_autograph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kddcup_autograph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

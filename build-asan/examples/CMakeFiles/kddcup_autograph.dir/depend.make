@@ -1,0 +1,2 @@
+# Empty dependencies file for kddcup_autograph.
+# This may be replaced when dependencies are built.

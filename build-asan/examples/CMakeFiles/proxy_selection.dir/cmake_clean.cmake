@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_selection.dir/proxy_selection.cpp.o"
+  "CMakeFiles/proxy_selection.dir/proxy_selection.cpp.o.d"
+  "proxy_selection"
+  "proxy_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/graph_ops.cc" "src/CMakeFiles/autohens.dir/autodiff/graph_ops.cc.o" "gcc" "src/CMakeFiles/autohens.dir/autodiff/graph_ops.cc.o.d"
+  "/root/repo/src/autodiff/ops.cc" "src/CMakeFiles/autohens.dir/autodiff/ops.cc.o" "gcc" "src/CMakeFiles/autohens.dir/autodiff/ops.cc.o.d"
+  "/root/repo/src/autodiff/variable.cc" "src/CMakeFiles/autohens.dir/autodiff/variable.cc.o" "gcc" "src/CMakeFiles/autohens.dir/autodiff/variable.cc.o.d"
+  "/root/repo/src/core/autohens.cc" "src/CMakeFiles/autohens.dir/core/autohens.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/autohens.cc.o.d"
+  "/root/repo/src/core/correct_smooth.cc" "src/CMakeFiles/autohens.dir/core/correct_smooth.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/correct_smooth.cc.o.d"
+  "/root/repo/src/core/gse.cc" "src/CMakeFiles/autohens.dir/core/gse.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/gse.cc.o.d"
+  "/root/repo/src/core/hierarchical.cc" "src/CMakeFiles/autohens.dir/core/hierarchical.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/hierarchical.cc.o.d"
+  "/root/repo/src/core/nas_random.cc" "src/CMakeFiles/autohens.dir/core/nas_random.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/nas_random.cc.o.d"
+  "/root/repo/src/core/proxy_eval.cc" "src/CMakeFiles/autohens.dir/core/proxy_eval.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/proxy_eval.cc.o.d"
+  "/root/repo/src/core/search_adaptive.cc" "src/CMakeFiles/autohens.dir/core/search_adaptive.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/search_adaptive.cc.o.d"
+  "/root/repo/src/core/search_gradient.cc" "src/CMakeFiles/autohens.dir/core/search_gradient.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/search_gradient.cc.o.d"
+  "/root/repo/src/core/trained_ensemble.cc" "src/CMakeFiles/autohens.dir/core/trained_ensemble.cc.o" "gcc" "src/CMakeFiles/autohens.dir/core/trained_ensemble.cc.o.d"
+  "/root/repo/src/ensemble/baselines.cc" "src/CMakeFiles/autohens.dir/ensemble/baselines.cc.o" "gcc" "src/CMakeFiles/autohens.dir/ensemble/baselines.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/autohens.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/autohens.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_set.cc" "src/CMakeFiles/autohens.dir/graph/graph_set.cc.o" "gcc" "src/CMakeFiles/autohens.dir/graph/graph_set.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/CMakeFiles/autohens.dir/graph/sampling.cc.o" "gcc" "src/CMakeFiles/autohens.dir/graph/sampling.cc.o.d"
+  "/root/repo/src/graph/split.cc" "src/CMakeFiles/autohens.dir/graph/split.cc.o" "gcc" "src/CMakeFiles/autohens.dir/graph/split.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/CMakeFiles/autohens.dir/graph/statistics.cc.o" "gcc" "src/CMakeFiles/autohens.dir/graph/statistics.cc.o.d"
+  "/root/repo/src/graph/synthetic.cc" "src/CMakeFiles/autohens.dir/graph/synthetic.cc.o" "gcc" "src/CMakeFiles/autohens.dir/graph/synthetic.cc.o.d"
+  "/root/repo/src/io/autograph_format.cc" "src/CMakeFiles/autohens.dir/io/autograph_format.cc.o" "gcc" "src/CMakeFiles/autohens.dir/io/autograph_format.cc.o.d"
+  "/root/repo/src/io/model_store.cc" "src/CMakeFiles/autohens.dir/io/model_store.cc.o" "gcc" "src/CMakeFiles/autohens.dir/io/model_store.cc.o.d"
+  "/root/repo/src/metrics/aggregate.cc" "src/CMakeFiles/autohens.dir/metrics/aggregate.cc.o" "gcc" "src/CMakeFiles/autohens.dir/metrics/aggregate.cc.o.d"
+  "/root/repo/src/metrics/classification_report.cc" "src/CMakeFiles/autohens.dir/metrics/classification_report.cc.o" "gcc" "src/CMakeFiles/autohens.dir/metrics/classification_report.cc.o.d"
+  "/root/repo/src/metrics/kendall.cc" "src/CMakeFiles/autohens.dir/metrics/kendall.cc.o" "gcc" "src/CMakeFiles/autohens.dir/metrics/kendall.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/autohens.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/autohens.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/metrics/wilcoxon.cc" "src/CMakeFiles/autohens.dir/metrics/wilcoxon.cc.o" "gcc" "src/CMakeFiles/autohens.dir/metrics/wilcoxon.cc.o.d"
+  "/root/repo/src/models/agnn.cc" "src/CMakeFiles/autohens.dir/models/agnn.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/agnn.cc.o.d"
+  "/root/repo/src/models/appnp.cc" "src/CMakeFiles/autohens.dir/models/appnp.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/appnp.cc.o.d"
+  "/root/repo/src/models/arma.cc" "src/CMakeFiles/autohens.dir/models/arma.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/arma.cc.o.d"
+  "/root/repo/src/models/chebnet.cc" "src/CMakeFiles/autohens.dir/models/chebnet.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/chebnet.cc.o.d"
+  "/root/repo/src/models/dagnn.cc" "src/CMakeFiles/autohens.dir/models/dagnn.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/dagnn.cc.o.d"
+  "/root/repo/src/models/gat.cc" "src/CMakeFiles/autohens.dir/models/gat.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/gat.cc.o.d"
+  "/root/repo/src/models/gated_gnn.cc" "src/CMakeFiles/autohens.dir/models/gated_gnn.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/gated_gnn.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/CMakeFiles/autohens.dir/models/gcn.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/gcn.cc.o.d"
+  "/root/repo/src/models/gcnii.cc" "src/CMakeFiles/autohens.dir/models/gcnii.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/gcnii.cc.o.d"
+  "/root/repo/src/models/gin.cc" "src/CMakeFiles/autohens.dir/models/gin.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/gin.cc.o.d"
+  "/root/repo/src/models/graph_level.cc" "src/CMakeFiles/autohens.dir/models/graph_level.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/graph_level.cc.o.d"
+  "/root/repo/src/models/graphsage.cc" "src/CMakeFiles/autohens.dir/models/graphsage.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/graphsage.cc.o.d"
+  "/root/repo/src/models/jknet.cc" "src/CMakeFiles/autohens.dir/models/jknet.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/jknet.cc.o.d"
+  "/root/repo/src/models/link_encoder.cc" "src/CMakeFiles/autohens.dir/models/link_encoder.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/link_encoder.cc.o.d"
+  "/root/repo/src/models/mixhop.cc" "src/CMakeFiles/autohens.dir/models/mixhop.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/mixhop.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/CMakeFiles/autohens.dir/models/mlp.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/mlp.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/CMakeFiles/autohens.dir/models/model.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/model.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/CMakeFiles/autohens.dir/models/model_zoo.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/models/sgc.cc" "src/CMakeFiles/autohens.dir/models/sgc.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/sgc.cc.o.d"
+  "/root/repo/src/models/tagcn.cc" "src/CMakeFiles/autohens.dir/models/tagcn.cc.o" "gcc" "src/CMakeFiles/autohens.dir/models/tagcn.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/autohens.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/autohens.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/autohens.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/autohens.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/autohens.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/autohens.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter_store.cc" "src/CMakeFiles/autohens.dir/nn/parameter_store.cc.o" "gcc" "src/CMakeFiles/autohens.dir/nn/parameter_store.cc.o.d"
+  "/root/repo/src/tasks/train_graph.cc" "src/CMakeFiles/autohens.dir/tasks/train_graph.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tasks/train_graph.cc.o.d"
+  "/root/repo/src/tasks/train_link.cc" "src/CMakeFiles/autohens.dir/tasks/train_link.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tasks/train_link.cc.o.d"
+  "/root/repo/src/tasks/train_node.cc" "src/CMakeFiles/autohens.dir/tasks/train_node.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tasks/train_node.cc.o.d"
+  "/root/repo/src/tasks/train_node_minibatch.cc" "src/CMakeFiles/autohens.dir/tasks/train_node_minibatch.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tasks/train_node_minibatch.cc.o.d"
+  "/root/repo/src/tensor/alloc_tracker.cc" "src/CMakeFiles/autohens.dir/tensor/alloc_tracker.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tensor/alloc_tracker.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/autohens.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/sparse_matrix.cc" "src/CMakeFiles/autohens.dir/tensor/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/autohens.dir/tensor/sparse_matrix.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/autohens.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/autohens.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/autohens.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/autohens.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/autohens.dir/util/status.cc.o" "gcc" "src/CMakeFiles/autohens.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/autohens.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/autohens.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/autohens.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/autohens.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/autohens.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/autohens.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodiff_basic_test.dir/autodiff_basic_test.cc.o"
+  "CMakeFiles/autodiff_basic_test.dir/autodiff_basic_test.cc.o.d"
+  "autodiff_basic_test"
+  "autodiff_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodiff_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

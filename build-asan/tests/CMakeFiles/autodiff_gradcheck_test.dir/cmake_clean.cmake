@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodiff_gradcheck_test.dir/autodiff_gradcheck_test.cc.o"
+  "CMakeFiles/autodiff_gradcheck_test.dir/autodiff_gradcheck_test.cc.o.d"
+  "autodiff_gradcheck_test"
+  "autodiff_gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodiff_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

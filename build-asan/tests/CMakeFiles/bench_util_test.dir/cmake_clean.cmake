@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_util_test.dir/bench_util_test.cc.o"
+  "CMakeFiles/bench_util_test.dir/bench_util_test.cc.o.d"
+  "bench_util_test"
+  "bench_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_report_test.dir/classification_report_test.cc.o"
+  "CMakeFiles/classification_report_test.dir/classification_report_test.cc.o.d"
+  "classification_report_test"
+  "classification_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_set_test.dir/graph_set_test.cc.o"
+  "CMakeFiles/graph_set_test.dir/graph_set_test.cc.o.d"
+  "graph_set_test"
+  "graph_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

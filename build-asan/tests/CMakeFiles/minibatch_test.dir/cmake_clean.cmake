@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minibatch_test.dir/minibatch_test.cc.o"
+  "CMakeFiles/minibatch_test.dir/minibatch_test.cc.o.d"
+  "minibatch_test"
+  "minibatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minibatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

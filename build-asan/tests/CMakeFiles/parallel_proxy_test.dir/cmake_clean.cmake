@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_proxy_test.dir/parallel_proxy_test.cc.o"
+  "CMakeFiles/parallel_proxy_test.dir/parallel_proxy_test.cc.o.d"
+  "parallel_proxy_test"
+  "parallel_proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trained_ensemble_test.dir/trained_ensemble_test.cc.o"
+  "CMakeFiles/trained_ensemble_test.dir/trained_ensemble_test.cc.o.d"
+  "trained_ensemble_test"
+  "trained_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trained_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
