@@ -3,6 +3,18 @@
 #include <unordered_set>
 
 namespace ahg {
+namespace {
+
+// Depth of nested ScopedInferenceMode regions on this thread.
+thread_local int tl_inference_depth = 0;
+
+}  // namespace
+
+ScopedInferenceMode::ScopedInferenceMode() { ++tl_inference_depth; }
+
+ScopedInferenceMode::~ScopedInferenceMode() { --tl_inference_depth; }
+
+bool InInferenceMode() { return tl_inference_depth > 0; }
 
 Var MakeParam(Matrix value) {
   auto node = std::make_shared<Node>();
@@ -22,6 +34,7 @@ Var MakeOpNode(Matrix value, std::vector<Var> parents,
                std::function<void(const Node&)> backward_fn) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
+  if (InInferenceMode()) return node;  // detached: no tape, no parents
   for (const auto& p : parents) {
     if (p->requires_grad) {
       node->requires_grad = true;

@@ -52,9 +52,28 @@ Var MakeParam(Matrix value);
 Var MakeConstant(Matrix value);
 
 // Internal: creates an op output node. `requires_grad` is inferred from
-// parents; callers provide the backward closure.
+// parents; callers provide the backward closure. Inside an inference-mode
+// region the node is created detached: no parents, no backward closure,
+// requires_grad = false.
 Var MakeOpNode(Matrix value, std::vector<Var> parents,
                std::function<void(const Node&)> backward_fn);
+
+// RAII tape switch for the frozen serving path. While a ScopedInferenceMode
+// is live on this thread, every op output is detached from the DAG, so
+// intermediate activations free as soon as their local handles die and a
+// forward pass retains no backward closures. Forward values are unchanged —
+// ops only differ in what bookkeeping they keep. Nestable; thread-local.
+class ScopedInferenceMode {
+ public:
+  ScopedInferenceMode();
+  ~ScopedInferenceMode();
+
+  ScopedInferenceMode(const ScopedInferenceMode&) = delete;
+  ScopedInferenceMode& operator=(const ScopedInferenceMode&) = delete;
+};
+
+// True while a ScopedInferenceMode is live on this thread.
+bool InInferenceMode();
 
 // Runs reverse-mode accumulation from `root`, which must be a 1x1 scalar.
 // Seeds d(root)/d(root) = 1 and fills `grad` on every reachable node with

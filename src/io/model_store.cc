@@ -10,6 +10,16 @@ namespace {
 constexpr char kMagic[4] = {'A', 'H', 'G', 'M'};
 constexpr uint32_t kVersion = 1;
 
+// Hard caps on untrusted tensor framing. A corrupt or malicious header must
+// fail with InvalidArgument before any allocation is attempted, never with a
+// multi-gigabyte bad_alloc: dimensions are bounded individually, the
+// rows*cols product is bounded in 64-bit arithmetic (so the multiply itself
+// cannot overflow), and the claimed payload is checked against the bytes
+// actually remaining in the file.
+constexpr uint64_t kMaxTensorDim = 1u << 27;        // 134M rows or cols
+constexpr uint64_t kMaxTensorElements = 1u << 28;   // 2 GiB of doubles
+constexpr uint32_t kMaxTensorCount = 100000;
+
 void WriteU32(std::ofstream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -73,6 +83,9 @@ Status SaveModel(const std::string& path, const ModelConfig& config,
 StatusOr<SavedModel> LoadModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -103,19 +116,33 @@ StatusOr<SavedModel> LoadModel(const std::string& path) {
   model.config.heads = static_cast<int>(heads);
   model.config.poly_order = static_cast<int>(poly);
   model.config.seed = seed;
-  if (count > 100000) {
+  if (count > kMaxTensorCount) {
     return Status::InvalidArgument("implausible tensor count");
   }
   model.params.reserve(count);
   for (uint32_t t = 0; t < count; ++t) {
     uint32_t rows = 0, cols = 0;
     if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) {
-      return Status::InvalidArgument("truncated tensor header");
+      return Status::InvalidArgument("truncated tensor header in " + path);
+    }
+    if (rows > kMaxTensorDim || cols > kMaxTensorDim) {
+      return Status::InvalidArgument("implausible tensor dimensions in " +
+                                     path);
+    }
+    const uint64_t elements = static_cast<uint64_t>(rows) * cols;
+    if (elements > kMaxTensorElements) {
+      return Status::InvalidArgument("implausible tensor size in " + path);
+    }
+    // Reject a payload the file cannot possibly hold before allocating it.
+    const uint64_t offset = static_cast<uint64_t>(in.tellg());
+    if (offset > file_size || elements * sizeof(double) > file_size - offset) {
+      return Status::InvalidArgument("truncated tensor data in " + path);
     }
     Matrix m(static_cast<int>(rows), static_cast<int>(cols));
     in.read(reinterpret_cast<char*>(m.data()),
             static_cast<std::streamsize>(m.size() * sizeof(double)));
-    if (!in.good()) return Status::InvalidArgument("truncated tensor data");
+    if (!in.good()) return Status::InvalidArgument("truncated tensor data in " +
+                                                   path);
     model.params.push_back(std::move(m));
   }
   return model;

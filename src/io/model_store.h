@@ -26,7 +26,10 @@ Status SaveModel(const std::string& path, const ModelConfig& config,
                  const std::vector<Matrix>& params);
 
 // Reads a model saved by SaveModel; validates magic/version and tensor
-// framing.
+// framing. Untrusted input is safe: dimensions are hard-capped, rows*cols is
+// computed overflow-free, and claimed payloads are checked against the bytes
+// remaining in the file, so corruption yields InvalidArgument rather than an
+// oversized allocation.
 StatusOr<SavedModel> LoadModel(const std::string& path);
 
 }  // namespace ahg

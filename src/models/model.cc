@@ -2,6 +2,16 @@
 
 namespace ahg {
 
+Matrix GnnModel::ForwardInference(const Graph& graph, const Matrix& features) {
+  ScopedInferenceMode frozen;
+  GnnContext ctx;
+  ctx.graph = &graph;
+  ctx.training = false;
+  std::vector<Var> layers = LayerOutputs(ctx, MakeConstant(features));
+  AHG_CHECK(!layers.empty());
+  return std::move(layers.back()->value);
+}
+
 const char* ModelFamilyName(ModelFamily family) {
   switch (family) {
     case ModelFamily::kGcn:

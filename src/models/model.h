@@ -77,6 +77,13 @@ class GnnModel {
   virtual std::vector<Var> LayerOutputs(const GnnContext& ctx,
                                         const Var& x) = 0;
 
+  // Frozen serving forward: eval mode (no dropout) with the autodiff tape
+  // disabled (ScopedInferenceMode), so no backward closures are retained and
+  // intermediate activations free eagerly. Returns the last hidden layer
+  // H^(L), num_nodes x hidden_dim, bitwise identical to the value the
+  // training-path eval forward computes.
+  Matrix ForwardInference(const Graph& graph, const Matrix& features);
+
   int num_layers() const { return config_.num_layers; }
   int hidden_dim() const { return config_.hidden_dim; }
   const ModelConfig& config() const { return config_; }

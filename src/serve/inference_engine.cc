@@ -1,0 +1,111 @@
+#include "serve/inference_engine.h"
+
+#include <cstring>
+
+#include "autodiff/ops.h"
+#include "nn/linear.h"
+#include "util/string_util.h"
+
+namespace ahg::serve {
+namespace {
+
+// Head used at training time: softmax(H W + b). Applied with the same
+// kernels and accumulation order as nn/Linear + RowSoftmax, so a gathered
+// batch reproduces the training-path rows bitwise (each output row depends
+// only on its own input row).
+Matrix HeadProbs(const Matrix& hidden_rows, const ServableModel& model) {
+  Matrix logits = MatMul(hidden_rows, model.head_weight());
+  const Matrix& bias = model.head_bias();
+  for (int r = 0; r < logits.rows(); ++r) {
+    double* row = logits.Row(r);
+    for (int c = 0; c < logits.cols(); ++c) row[c] += bias(0, c);
+  }
+  return RowSoftmax(logits);
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const Graph* graph,
+                                 const EngineOptions& options,
+                                 ServeStats* stats)
+    : graph_(graph), cache_(options.cache_byte_budget), stats_(stats) {
+  AHG_CHECK(graph != nullptr);
+}
+
+StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
+    const ServableModel& model) {
+  if (model.config.in_dim != graph_->feature_dim()) {
+    return Status::InvalidArgument(
+        StrFormat("model consumes %d-dim features, serving graph has %d-dim",
+                  model.config.in_dim, graph_->feature_dim()));
+  }
+  // Published versions are immutable, so the version number identifies the
+  // propagation product; the engine itself pins the graph.
+  const std::string key = StrFormat("v%d", model.version);
+  bool computed = false;
+  std::shared_ptr<const Matrix> hidden =
+      cache_.GetOrCompute(key, [this, &model, &computed] {
+        computed = true;
+        std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
+        std::vector<Matrix> weights(model.params.begin(),
+                                    model.params.end() - 2);
+        zoo->params()->Restore(weights);
+        return zoo->ForwardInference(*graph_, graph_->features());
+      });
+  if (stats_ != nullptr) {
+    if (computed) {
+      stats_->RecordCacheMiss();
+    } else {
+      stats_->RecordCacheHit();
+    }
+    stats_->SetCacheBytes(cache_.current_bytes());
+  }
+  return hidden;
+}
+
+StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
+                                               const std::vector<int>& nodes) {
+  for (int node : nodes) {
+    if (node < 0 || node >= graph_->num_nodes()) {
+      return Status::InvalidArgument(
+          StrFormat("node id %d out of range [0, %d)", node,
+                    graph_->num_nodes()));
+    }
+  }
+  auto hidden = HiddenStates(model);
+  if (!hidden.ok()) return hidden.status();
+  const Matrix& h = *hidden.value();
+  Matrix rows(static_cast<int>(nodes.size()), h.cols());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::memcpy(rows.Row(static_cast<int>(i)), h.Row(nodes[i]),
+                static_cast<size_t>(h.cols()) * sizeof(double));
+  }
+  return HeadProbs(rows, model);
+}
+
+StatusOr<Matrix> InferenceEngine::PredictAll(const ServableModel& model) {
+  auto hidden = HiddenStates(model);
+  if (!hidden.ok()) return hidden.status();
+  return HeadProbs(*hidden.value(), model);
+}
+
+Status InferenceEngine::Warm(const ServableModel& model) {
+  return HiddenStates(model).status();
+}
+
+Matrix InferenceEngine::TrainingPathProbs(const ServableModel& model,
+                                          const Graph& graph) {
+  std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
+  Rng head_rng(model.config.seed ^ 0x5ca1ab1eULL);
+  Linear head(zoo->params(), model.config.hidden_dim, model.num_classes,
+              /*bias=*/true, &head_rng);
+  zoo->params()->Restore(model.params);
+  GnnContext ctx;
+  ctx.graph = &graph;
+  ctx.training = false;
+  Var logits = head.Apply(zoo->LayerOutputs(ctx, MakeConstant(graph.features()))
+                              .back());
+  return RowSoftmax(logits->value);
+}
+
+}  // namespace ahg::serve

@@ -1,0 +1,78 @@
+// Frozen-model inference over one serving graph.
+//
+// The engine answers node-classification queries against ServableModels
+// from a ModelRegistry. Per (graph, model-version) pair it runs the frozen
+// forward (GnnModel::ForwardInference: eval mode, tape disabled) exactly
+// once and parks the final hidden states H^(L) (num_nodes x hidden_dim) in
+// a PropagationCache; a query then gathers the requested rows and applies
+// the classifier head — dense lookup + MLP instead of a full-graph SpMM
+// stack. Because every kernel on both paths is deterministic across thread
+// counts (see README "Threading model") and each output row depends only on
+// its own input row, served probabilities are bitwise identical to the
+// training-path eval forward regardless of batching or thread count.
+#ifndef AUTOHENS_SERVE_INFERENCE_ENGINE_H_
+#define AUTOHENS_SERVE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "serve/model_registry.h"
+#include "serve/propagation_cache.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace ahg::serve {
+
+struct EngineOptions {
+  // LRU budget for cached propagation products; <= 0 means unbounded.
+  int64_t cache_byte_budget = int64_t{256} << 20;
+};
+
+class InferenceEngine {
+ public:
+  // `graph` must outlive the engine. `stats` is optional; when set, cache
+  // hits/misses and the pinned byte count are reported there.
+  InferenceEngine(const Graph* graph, const EngineOptions& options,
+                  ServeStats* stats = nullptr);
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  // Class probabilities for `nodes` (rows in input order, num_classes
+  // columns). InvalidArgument on an out-of-range node id or a model whose
+  // in_dim does not match the graph.
+  StatusOr<Matrix> PredictNodes(const ServableModel& model,
+                                const std::vector<int>& nodes);
+
+  // Full-graph probabilities through the same cached path.
+  StatusOr<Matrix> PredictAll(const ServableModel& model);
+
+  // Forces the propagation product for `model` into the cache (cache-warm
+  // startup) without computing head outputs.
+  Status Warm(const ServableModel& model);
+
+  const PropagationCache& cache() const { return cache_; }
+  const Graph& graph() const { return *graph_; }
+
+  // Comparator/baseline: rebuilds the autodiff model + head and runs the
+  // tape-building eval forward over the whole graph (exactly what training
+  // validation computes). This is the "naive per-query" cost a query would
+  // pay without the serving layer.
+  static Matrix TrainingPathProbs(const ServableModel& model,
+                                  const Graph& graph);
+
+ private:
+  // Cached H^(L) for (graph, model.version).
+  StatusOr<std::shared_ptr<const Matrix>> HiddenStates(
+      const ServableModel& model);
+
+  const Graph* const graph_;
+  PropagationCache cache_;
+  ServeStats* const stats_;
+};
+
+}  // namespace ahg::serve
+
+#endif  // AUTOHENS_SERVE_INFERENCE_ENGINE_H_

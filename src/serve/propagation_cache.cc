@@ -1,0 +1,111 @@
+#include "serve/propagation_cache.h"
+
+#include <utility>
+#include <vector>
+
+namespace ahg::serve {
+
+PropagationCache::PropagationCache(int64_t byte_budget)
+    : byte_budget_(byte_budget) {}
+
+std::shared_ptr<const Matrix> PropagationCache::GetOrCompute(
+    const std::string& key, const std::function<Matrix()>& compute) {
+  std::shared_future<std::shared_ptr<const Matrix>> future;
+  std::promise<std::shared_ptr<const Matrix>> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++tick_;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.last_used = tick_;
+      future = it->second.future;
+    } else {
+      ++misses_;
+      owner = true;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      entry.last_used = tick_;
+      future = entry.future;
+      entries_.emplace(key, std::move(entry));
+    }
+  }
+  if (owner) {
+    auto value = std::make_shared<const Matrix>(compute());
+    const int64_t bytes =
+        value->size() * static_cast<int64_t>(sizeof(double));
+    promise.set_value(value);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    // The entry may have been Invalidate()d/Clear()ed while computing; only
+    // account for it if it is still resident.
+    if (it != entries_.end() && !it->second.ready) {
+      it->second.bytes = bytes;
+      it->second.ready = true;
+      bytes_ += bytes;
+      EvictLocked(key);
+    }
+    return value;
+  }
+  return future.get();
+}
+
+void PropagationCache::EvictLocked(const std::string& keep) {
+  if (byte_budget_ <= 0) return;
+  while (bytes_ > byte_budget_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready || it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // nothing evictable
+    bytes_ -= victim->second.bytes;
+    ++evictions_;
+    entries_.erase(victim);
+  }
+}
+
+void PropagationCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.ready) bytes_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+void PropagationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+int64_t PropagationCache::current_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t PropagationCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PropagationCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PropagationCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+int64_t PropagationCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace ahg::serve

@@ -1,0 +1,86 @@
+// Keyed cache of precomputed graph-propagation products.
+//
+// The expensive part of answering a node-classification query is the
+// full-graph SpMM stack (normalized-adjacency powers / APPNP-style
+// propagation). Those products depend only on the (graph, model-version)
+// pair, never on the queried node, so the serving layer computes them once
+// through the frozen forward path and every subsequent query is a dense row
+// lookup plus the classifier head (iSpLib, Anik et al. 2024, makes the same
+// observation for GNN inference).
+//
+// Concurrency: the first request for a key computes the entry while later
+// requests for the same key block on a shared_future, so a propagation
+// product is computed exactly once no matter how many batcher workers race
+// on a cold cache. Entries are immutable once published; eviction is LRU
+// under a byte budget, and evicted matrices stay alive for any in-flight
+// batch still holding the shared_ptr.
+//
+// Memory accounting: entry sizes use the same bytes the Matrix allocator
+// reports to AllocTracker (rows * cols * sizeof(double)), so cache totals
+// are directly comparable to AllocTracker::CurrentBytes() in ServeStats.
+#ifndef AUTOHENS_SERVE_PROPAGATION_CACHE_H_
+#define AUTOHENS_SERVE_PROPAGATION_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tensor/matrix.h"
+
+namespace ahg::serve {
+
+class PropagationCache {
+ public:
+  // byte_budget <= 0 means unbounded.
+  explicit PropagationCache(int64_t byte_budget);
+
+  PropagationCache(const PropagationCache&) = delete;
+  PropagationCache& operator=(const PropagationCache&) = delete;
+
+  // Returns the entry for `key`, invoking `compute` on the first request.
+  // Concurrent callers with the same key block until that single computation
+  // publishes; `compute` runs outside the cache lock.
+  std::shared_ptr<const Matrix> GetOrCompute(
+      const std::string& key, const std::function<Matrix()>& compute);
+
+  // Drops `key` if present (e.g. a retired model version). In-flight
+  // shared_ptr holders keep the matrix alive.
+  void Invalidate(const std::string& key);
+
+  void Clear();
+
+  int64_t byte_budget() const { return byte_budget_; }
+  int64_t current_bytes() const;
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+  int64_t num_entries() const;
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const Matrix>> future;
+    int64_t bytes = 0;      // 0 until the computation publishes
+    uint64_t last_used = 0;  // LRU tick
+    bool ready = false;
+  };
+
+  // Evicts ready LRU entries (never `keep`) until the budget holds.
+  void EvictLocked(const std::string& keep);
+
+  const int64_t byte_budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t tick_ = 0;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace ahg::serve
+
+#endif  // AUTOHENS_SERVE_PROPAGATION_CACHE_H_

@@ -1,0 +1,142 @@
+#include "serve/request_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ahg::serve {
+
+RequestBatcher::RequestBatcher(InferenceEngine* engine,
+                               const ModelRegistry* registry,
+                               const BatcherOptions& options,
+                               ServeStats* stats)
+    : engine_(engine),
+      registry_(registry),
+      options_(options),
+      stats_(stats),
+      pool_(std::max(1, options.num_threads)) {
+  AHG_CHECK(engine != nullptr);
+  AHG_CHECK(registry != nullptr);
+  AHG_CHECK(stats != nullptr);
+  AHG_CHECK_GT(options_.max_batch_size, 0);
+  AHG_CHECK_GT(options_.queue_limit, 0);
+}
+
+RequestBatcher::~RequestBatcher() { Drain(); }
+
+std::future<QueryResult> RequestBatcher::Enqueue(int node_id,
+                                                 double deadline_ms) {
+  Pending request;
+  request.node_id = node_id;
+  request.deadline_ms =
+      deadline_ms > 0.0 ? deadline_ms : options_.deadline_ms;
+  std::future<QueryResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_queue_ >= options_.queue_limit) {
+      stats_->RecordRejected();
+      QueryResult rejected;
+      rejected.status = Status::ResourceExhausted(
+          StrFormat("queue limit %d reached", options_.queue_limit));
+      request.promise.set_value(std::move(rejected));
+      return future;
+    }
+    ++in_queue_;
+    pending_.push_back(std::move(request));
+    if (static_cast<int>(pending_.size()) >= options_.max_batch_size) {
+      SubmitBatchLocked();
+    }
+  }
+  return future;
+}
+
+void RequestBatcher::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!pending_.empty()) SubmitBatchLocked();
+}
+
+void RequestBatcher::Drain() {
+  Flush();
+  pool_.Wait();
+}
+
+void RequestBatcher::SubmitBatchLocked() {
+  const int take = std::min<int>(options_.max_batch_size,
+                                 static_cast<int>(pending_.size()));
+  if (take == 0) return;
+  std::vector<Pending> batch;
+  batch.reserve(take);
+  std::move(pending_.begin(), pending_.begin() + take,
+            std::back_inserter(batch));
+  pending_.erase(pending_.begin(), pending_.begin() + take);
+  // The pool owns the batch from here; shared_ptr because std::function
+  // requires a copyable callable.
+  auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
+  pool_.Submit([this, shared] { ExecuteBatch(std::move(*shared)); });
+}
+
+void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
+  stats_->RecordBatch(static_cast<int>(batch.size()));
+  std::shared_ptr<const ServableModel> model = registry_->Active();
+
+  // Deadline admission happens at execution time: a request that already
+  // overstayed its budget in the queue is answered without paying for
+  // inference.
+  std::vector<int> live_nodes;
+  std::vector<size_t> live_index;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& request = batch[i];
+    const double waited_ms = request.enqueued.ElapsedMillis();
+    if (request.deadline_ms > 0.0 && waited_ms > request.deadline_ms) {
+      stats_->RecordDeadlineViolation();
+      QueryResult result;
+      result.status = Status::DeadlineExceeded(
+          StrFormat("queued %.1fms, deadline %.1fms", waited_ms,
+                    request.deadline_ms));
+      result.latency_ms = waited_ms;
+      request.promise.set_value(std::move(result));
+    } else if (model == nullptr) {
+      stats_->RecordFailed();
+      QueryResult result;
+      result.status = Status::NotFound("registry has no active model");
+      result.latency_ms = waited_ms;
+      request.promise.set_value(std::move(result));
+    } else {
+      live_nodes.push_back(request.node_id);
+      live_index.push_back(i);
+    }
+  }
+  if (live_nodes.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_queue_ -= static_cast<int>(batch.size());
+    return;
+  }
+
+  StatusOr<Matrix> probs = engine_->PredictNodes(*model, live_nodes);
+  for (size_t j = 0; j < live_index.size(); ++j) {
+    Pending& request = batch[live_index[j]];
+    QueryResult result;
+    result.latency_ms = request.enqueued.ElapsedMillis();
+    if (!probs.ok()) {
+      stats_->RecordFailed();
+      result.status = probs.status();
+    } else if (request.deadline_ms > 0.0 &&
+               result.latency_ms > request.deadline_ms) {
+      stats_->RecordDeadlineViolation();
+      result.status = Status::DeadlineExceeded(
+          StrFormat("answered in %.1fms, deadline %.1fms", result.latency_ms,
+                    request.deadline_ms));
+    } else {
+      stats_->RecordCompleted(result.latency_ms);
+      const Matrix& m = probs.value();
+      result.probs.assign(m.Row(static_cast<int>(j)),
+                          m.Row(static_cast<int>(j)) + m.cols());
+    }
+    request.promise.set_value(std::move(result));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  in_queue_ -= static_cast<int>(batch.size());
+}
+
+}  // namespace ahg::serve

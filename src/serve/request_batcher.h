@@ -1,0 +1,97 @@
+// Micro-batching front end of the serving subsystem.
+//
+// Single-node queries are enqueued with a per-request deadline; the batcher
+// packs them into micro-batches (cut when max_batch_size requests are
+// pending, or on Flush()) and drains each batch as one task on its worker
+// pool (util/thread_pool.h). Admission control caps the number of pending
+// requests: beyond queue_limit, Enqueue fails fast with ResourceExhausted
+// instead of letting the queue grow without bound. A request whose deadline
+// has already passed when its batch executes is answered with
+// DeadlineExceeded and counted in ServeStats.
+//
+// Determinism: every answered probability vector is a pure function of the
+// cached propagation product and the model head, one output row per query —
+// so served values are bitwise identical whatever the pool size or batch
+// composition. Latency statistics, of course, are not.
+#ifndef AUTOHENS_SERVE_REQUEST_BATCHER_H_
+#define AUTOHENS_SERVE_REQUEST_BATCHER_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace ahg::serve {
+
+struct BatcherOptions {
+  int max_batch_size = 32;      // micro-batch cut threshold
+  int queue_limit = 1024;       // pending requests beyond this are rejected
+  double deadline_ms = 100.0;   // default per-request deadline; <= 0 = none
+  int num_threads = 1;          // workers draining batches
+};
+
+// Outcome of one query. `probs` has num_classes entries when status is OK.
+struct QueryResult {
+  Status status;
+  std::vector<double> probs;
+  double latency_ms = 0.0;  // enqueue -> answer
+};
+
+class RequestBatcher {
+ public:
+  // `engine`, `registry` and `stats` must outlive the batcher. The model is
+  // resolved per batch via registry->Active(), so a Refresh() hot-swap takes
+  // effect at the next batch boundary.
+  RequestBatcher(InferenceEngine* engine, const ModelRegistry* registry,
+                 const BatcherOptions& options, ServeStats* stats);
+
+  // Drains in-flight batches before destruction.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  // Queues a single-node query; `deadline_ms` overrides the default when
+  // > 0. The future is fulfilled when the request's micro-batch executes
+  // (or immediately, with ResourceExhausted, when the queue is full).
+  std::future<QueryResult> Enqueue(int node_id, double deadline_ms = 0.0);
+
+  // Submits any pending partial batch.
+  void Flush();
+
+  // Flush + wait until every submitted batch has executed.
+  void Drain();
+
+ private:
+  struct Pending {
+    int node_id = 0;
+    double deadline_ms = 0.0;  // <= 0: no deadline
+    Stopwatch enqueued;
+    std::promise<QueryResult> promise;
+  };
+
+  // Cuts up to max_batch_size pending requests into a pool task. Caller
+  // must hold mu_.
+  void SubmitBatchLocked();
+
+  void ExecuteBatch(std::vector<Pending> batch);
+
+  InferenceEngine* const engine_;
+  const ModelRegistry* const registry_;
+  const BatcherOptions options_;
+  ServeStats* const stats_;
+  ThreadPool pool_;
+  std::mutex mu_;
+  std::vector<Pending> pending_;
+  int in_queue_ = 0;  // pending + cut-but-not-yet-executed requests
+};
+
+}  // namespace ahg::serve
+
+#endif  // AUTOHENS_SERVE_REQUEST_BATCHER_H_

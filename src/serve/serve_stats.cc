@@ -1,0 +1,150 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ahg::serve {
+namespace {
+
+// Bucket index for a batch of `size` requests: 1, 2, 3-4, 5-8, ..., 129+.
+int BucketIndex(int size) {
+  int bucket = 0;
+  int upper = 1;
+  while (size > upper && bucket < kBatchHistogramBuckets - 1) {
+    upper *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+// Percentile over an already-sorted sample (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::string ServeStatsSnapshot::BucketLabel(int bucket) {
+  if (bucket == 0) return "1";
+  if (bucket == 1) return "2";
+  const int upper = 1 << bucket;
+  if (bucket == kBatchHistogramBuckets - 1) {
+    return StrFormat("%d+", upper / 2 + 1);
+  }
+  return StrFormat("%d-%d", upper / 2 + 1, upper);
+}
+
+void ServeStats::RecordCompleted(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  latencies_ms_.push_back(latency_ms);
+}
+
+void ServeStats::RecordDeadlineViolation() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_violations_;
+}
+
+void ServeStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeStats::RecordFailed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failed_;
+}
+
+void ServeStats::RecordCacheHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_hits_;
+}
+
+void ServeStats::RecordCacheMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_misses_;
+}
+
+void ServeStats::RecordBatch(int batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  ++batch_size_histogram_[BucketIndex(batch_size)];
+}
+
+void ServeStats::SetCacheBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_bytes_ = bytes;
+}
+
+ServeStatsSnapshot ServeStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStatsSnapshot snap;
+  snap.completed = completed_;
+  snap.deadline_violations = deadline_violations_;
+  snap.rejected = rejected_;
+  snap.failed = failed_;
+  snap.cache_hits = cache_hits_;
+  snap.cache_misses = cache_misses_;
+  snap.cache_bytes = cache_bytes_;
+  snap.batches = batches_;
+  snap.elapsed_seconds = clock_.ElapsedSeconds();
+  if (snap.elapsed_seconds > 0.0) {
+    snap.qps = static_cast<double>(completed_) / snap.elapsed_seconds;
+  }
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  snap.p50_latency_ms = Percentile(sorted, 0.50);
+  snap.p99_latency_ms = Percentile(sorted, 0.99);
+  snap.max_latency_ms = sorted.empty() ? 0.0 : sorted.back();
+  for (int b = 0; b < kBatchHistogramBuckets; ++b) {
+    snap.batch_size_histogram[b] = batch_size_histogram_[b];
+  }
+  return snap;
+}
+
+void ServeStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_ = deadline_violations_ = rejected_ = failed_ = 0;
+  cache_hits_ = cache_misses_ = cache_bytes_ = batches_ = 0;
+  latencies_ms_.clear();
+  for (int64_t& count : batch_size_histogram_) count = 0;
+  clock_.Reset();
+}
+
+std::string FormatStatsTable(const ServeStatsSnapshot& snap) {
+  std::ostringstream out;
+  auto row = [&out](const std::string& field, const std::string& value) {
+    out << "  " << field;
+    for (size_t i = field.size(); i < 22; ++i) out << ' ';
+    out << value << "\n";
+  };
+  out << "ServeStats\n";
+  row("requests", StrFormat("%lld", static_cast<long long>(snap.total())));
+  row("completed", StrFormat("%lld", static_cast<long long>(snap.completed)));
+  row("deadline_violations",
+      StrFormat("%lld", static_cast<long long>(snap.deadline_violations)));
+  row("rejected", StrFormat("%lld", static_cast<long long>(snap.rejected)));
+  row("failed", StrFormat("%lld", static_cast<long long>(snap.failed)));
+  row("qps", FormatFloat(snap.qps, 1));
+  row("p50_latency_ms", FormatFloat(snap.p50_latency_ms, 3));
+  row("p99_latency_ms", FormatFloat(snap.p99_latency_ms, 3));
+  row("max_latency_ms", FormatFloat(snap.max_latency_ms, 3));
+  row("cache_hits", StrFormat("%lld", static_cast<long long>(snap.cache_hits)));
+  row("cache_misses",
+      StrFormat("%lld", static_cast<long long>(snap.cache_misses)));
+  row("cache_bytes", StrFormat("%lld", static_cast<long long>(snap.cache_bytes)));
+  row("batches", StrFormat("%lld", static_cast<long long>(snap.batches)));
+  out << "  batch-size histogram\n";
+  for (int b = 0; b < kBatchHistogramBuckets; ++b) {
+    if (snap.batch_size_histogram[b] == 0) continue;
+    row("  " + ServeStatsSnapshot::BucketLabel(b),
+        StrFormat("%lld", static_cast<long long>(snap.batch_size_histogram[b])));
+  }
+  return out.str();
+}
+
+}  // namespace ahg::serve

@@ -1,0 +1,86 @@
+// Thread-safe counter block for the serving subsystem: request outcomes,
+// latency percentiles (p50/p99 over per-request stopwatch samples), cache
+// hit/miss counts, and a power-of-two batch-size histogram. One ServeStats
+// is shared by the InferenceEngine (cache events) and the RequestBatcher
+// (request lifecycle); Snapshot() freezes everything for printing.
+#ifndef AUTOHENS_SERVE_SERVE_STATS_H_
+#define AUTOHENS_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace ahg::serve {
+
+// Batch sizes bucketed as 1, 2, 3-4, 5-8, ..., 129+.
+inline constexpr int kBatchHistogramBuckets = 9;
+
+struct ServeStatsSnapshot {
+  int64_t completed = 0;            // requests answered OK
+  int64_t deadline_violations = 0;  // answered past their deadline
+  int64_t rejected = 0;             // refused at admission (queue full)
+  int64_t failed = 0;               // other errors (no active model, bad id)
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_bytes = 0;      // bytes currently pinned by the cache
+  int64_t batches = 0;          // micro-batches executed
+  double elapsed_seconds = 0.0;  // since construction / Reset()
+  double qps = 0.0;              // completed / elapsed
+  double p50_latency_ms = 0.0;   // over completed requests
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  int64_t batch_size_histogram[kBatchHistogramBuckets] = {};
+
+  int64_t total() const {
+    return completed + deadline_violations + rejected + failed;
+  }
+  // Human-readable bucket label, e.g. "5-8" (index < kBatchHistogramBuckets).
+  static std::string BucketLabel(int bucket);
+};
+
+class ServeStats {
+ public:
+  ServeStats() = default;
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
+  void RecordCompleted(double latency_ms);
+  void RecordDeadlineViolation();
+  void RecordRejected();
+  void RecordFailed();
+  void RecordCacheHit();
+  void RecordCacheMiss();
+  void RecordBatch(int batch_size);
+  // The cache reports its pinned byte count here after every mutation.
+  void SetCacheBytes(int64_t bytes);
+
+  ServeStatsSnapshot Snapshot() const;
+
+  // Clears all counters and restarts the qps clock.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch clock_;
+  int64_t completed_ = 0;
+  int64_t deadline_violations_ = 0;
+  int64_t rejected_ = 0;
+  int64_t failed_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t cache_bytes_ = 0;
+  int64_t batches_ = 0;
+  std::vector<double> latencies_ms_;
+  int64_t batch_size_histogram_[kBatchHistogramBuckets] = {};
+};
+
+// Renders the snapshot as an aligned two-column table (field, value) plus
+// the batch-size histogram, for the serve example and bench.
+std::string FormatStatsTable(const ServeStatsSnapshot& snapshot);
+
+}  // namespace ahg::serve
+
+#endif  // AUTOHENS_SERVE_SERVE_STATS_H_

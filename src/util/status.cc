@@ -15,6 +15,10 @@ const char* CodeName(Status::Code code) {
       return "IOError";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -19,6 +19,8 @@ class Status {
     kNotFound,
     kIOError,
     kInternal,
+    kDeadlineExceeded,    // request missed its latency budget (serving)
+    kResourceExhausted,   // admission control rejected the request (serving)
   };
 
   Status() : code_(Code::kOk) {}
@@ -35,6 +37,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

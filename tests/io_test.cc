@@ -1,11 +1,14 @@
-#include "io/autograph_format.h"
-
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "graph/split.h"
 #include "graph/synthetic.h"
 #include "gtest/gtest.h"
+#include "io/autograph_format.h"
+#include "io/model_store.h"
 
 namespace ahg {
 namespace {
@@ -95,6 +98,101 @@ TEST(AutographFormatTest, MissingConfigKeyRejected) {
   auto read = ReadAutographDataset(dir);
   ASSERT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), Status::Code::kInvalidArgument);
+}
+
+// --- model_store framing hardening ---------------------------------------
+
+std::string WriteReferenceModel(const std::string& name) {
+  ModelConfig cfg;
+  cfg.family = ModelFamily::kGcn;
+  cfg.in_dim = 3;
+  cfg.hidden_dim = 4;
+  std::vector<Matrix> params;
+  params.push_back(Matrix::Constant(3, 4, 0.5));
+  params.push_back(Matrix::Constant(1, 4, -0.25));
+  const std::string path = TempDir(name);
+  EXPECT_TRUE(SaveModel(path, cfg, params).ok());
+  return path;
+}
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open());
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::vector<char>& bytes,
+                size_t count) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(count));
+}
+
+// Byte offset of the first tensor's rows field in the AHGM layout: magic(4)
+// + version(4) + 4 u32 config fields + dropout f64 + heads u32 + 4 f64
+// knobs + poly u32 + seed u64 + tensor count u32.
+constexpr size_t kFirstTensorHeaderOffset =
+    4 + 4 + 16 + 8 + 4 + 32 + 4 + 8 + 4;
+
+TEST(ModelStoreTest, TruncatedFileAtEveryStageIsRejectedNotCrashed) {
+  const std::string path = WriteReferenceModel("model_store_trunc.ahgm");
+  const std::vector<char> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), kFirstTensorHeaderOffset);
+  // Cut inside the magic, the header, the tensor header, and the payload.
+  for (size_t cut : std::vector<size_t>{2, 10, 40, kFirstTensorHeaderOffset,
+                                        kFirstTensorHeaderOffset + 4,
+                                        kFirstTensorHeaderOffset + 8 + 17,
+                                        bytes.size() - 1}) {
+    const std::string cut_path = TempDir("model_store_cut.ahgm");
+    WriteBytes(cut_path, bytes, cut);
+    auto loaded = LoadModel(cut_path);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ModelStoreTest, HugeTensorDimsRejectedWithoutAllocation) {
+  const std::string path = WriteReferenceModel("model_store_bomb.ahgm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  // Claim a ~146 exabyte tensor (0xFFFFFFFF x 0xFFFFFFFF doubles). The old
+  // loader multiplied in int and tried to allocate; now the caps reject it
+  // before any allocation.
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + kFirstTensorHeaderOffset, &huge, sizeof(huge));
+  std::memcpy(bytes.data() + kFirstTensorHeaderOffset + 4, &huge,
+              sizeof(huge));
+  const std::string bomb = TempDir("model_store_bomb2.ahgm");
+  WriteBytes(bomb, bytes, bytes.size());
+  auto loaded = LoadModel(bomb);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ModelStoreTest, PlausibleDimsBeyondFileSizeRejectedBeforeAllocation) {
+  const std::string path = WriteReferenceModel("model_store_lie.ahgm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  // Claim 4000x4000 (128 MB payload) in a file of a few hundred bytes:
+  // within the dimension caps, but the file cannot hold it.
+  const uint32_t rows = 4000, cols = 4000;
+  std::memcpy(bytes.data() + kFirstTensorHeaderOffset, &rows, sizeof(rows));
+  std::memcpy(bytes.data() + kFirstTensorHeaderOffset + 4, &cols,
+              sizeof(cols));
+  const std::string lie = TempDir("model_store_lie2.ahgm");
+  WriteBytes(lie, bytes, bytes.size());
+  auto loaded = LoadModel(lie);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ModelStoreTest, RoundTripStillWorksAfterHardening) {
+  const std::string path = WriteReferenceModel("model_store_ok.ahgm");
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().params.size(), 2u);
+  EXPECT_EQ(loaded.value().params[0].rows(), 3);
+  EXPECT_EQ(loaded.value().params[0].cols(), 4);
+  EXPECT_DOUBLE_EQ(loaded.value().params[1](0, 0), -0.25);
 }
 
 TEST(AutographFormatTest, DirectedFlagRoundTrips) {

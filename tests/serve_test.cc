@@ -1,0 +1,499 @@
+// The serving subsystem: propagation cache semantics (compute-once, LRU
+// byte budget, concurrent cold starts), registry publish/refresh/hot-swap,
+// frozen-path vs training-path equivalence, and the request batcher's
+// deadline / admission-control / determinism contracts. The batcher and
+// cache tests also run under TSan in CI.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "nn/linear.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "serve/propagation_cache.h"
+#include "serve/request_batcher.h"
+#include "serve/serve_stats.h"
+
+namespace ahg::serve {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base ? base : "/tmp") + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Graph SmallGraph(uint64_t seed = 7) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 48;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 6;
+  cfg.avg_degree = 3.0;
+  cfg.seed = seed;
+  return GenerateSbmGraph(cfg);
+}
+
+// Builds an (untrained) model + head for `graph` and snapshots its weights
+// into a ServableModel — identical layout to a trained member.
+ServableModel MakeServable(const Graph& graph, int version,
+                           ModelFamily family = ModelFamily::kGcn,
+                           uint64_t seed = 11) {
+  ServableModel model;
+  model.version = version;
+  model.num_classes = graph.num_classes();
+  model.config.family = family;
+  model.config.in_dim = graph.feature_dim();
+  model.config.hidden_dim = 8;
+  model.config.num_layers = 2;
+  model.config.seed = seed;
+  std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
+  Rng head_rng(model.config.seed ^ 0x5ca1ab1eULL);
+  Linear head(zoo->params(), model.config.hidden_dim, model.num_classes,
+              /*bias=*/true, &head_rng);
+  model.params = zoo->params()->Snapshot();
+  return model;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      max_diff = std::max(max_diff, std::fabs(a(r, c) - b(r, c)));
+    }
+  }
+  return max_diff;
+}
+
+TEST(PropagationCacheTest, ComputesOnceAndCountsHits) {
+  PropagationCache cache(/*byte_budget=*/0);
+  int computes = 0;
+  auto compute = [&computes] {
+    ++computes;
+    return Matrix::Constant(4, 4, 1.0);
+  };
+  auto first = cache.GetOrCompute("k", compute);
+  auto second = cache.GetOrCompute("k", compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.current_bytes(), 4 * 4 * 8);
+}
+
+TEST(PropagationCacheTest, LruEvictionUnderByteBudget) {
+  // Budget fits exactly two 4x4 entries.
+  PropagationCache cache(2 * 4 * 4 * 8);
+  auto make = [](double v) { return [v] { return Matrix::Constant(4, 4, v); }; };
+  cache.GetOrCompute("a", make(1.0));
+  cache.GetOrCompute("b", make(2.0));
+  cache.GetOrCompute("a", make(1.0));  // refresh a's LRU tick
+  cache.GetOrCompute("c", make(3.0));  // evicts b
+  EXPECT_EQ(cache.num_entries(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_LE(cache.current_bytes(), cache.byte_budget());
+  // a survived, b was the victim.
+  EXPECT_EQ(cache.hits(), 1);
+  cache.GetOrCompute("a", make(1.0));
+  EXPECT_EQ(cache.hits(), 2);
+  cache.GetOrCompute("b", make(2.0));
+  EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(PropagationCacheTest, ConcurrentColdStartComputesOnce) {
+  PropagationCache cache(/*byte_budget=*/0);
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const Matrix>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &computes, &results, t] {
+      results[t] = cache.GetOrCompute("shared", [&computes] {
+        ++computes;
+        return Matrix::Constant(8, 8, 3.0);
+      });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), kThreads - 1);
+}
+
+TEST(PropagationCacheTest, InvalidateDropsEntry) {
+  PropagationCache cache(/*byte_budget=*/0);
+  int computes = 0;
+  auto compute = [&computes] {
+    ++computes;
+    return Matrix::Constant(2, 2, 1.0);
+  };
+  auto held = cache.GetOrCompute("k", compute);
+  cache.Invalidate("k");
+  EXPECT_EQ(cache.current_bytes(), 0);
+  cache.GetOrCompute("k", compute);
+  EXPECT_EQ(computes, 2);
+  // The old handle stays valid after invalidation.
+  EXPECT_DOUBLE_EQ((*held)(0, 0), 1.0);
+}
+
+TEST(ModelRegistryTest, PublishRefreshServesHighestVersion) {
+  Graph graph = SmallGraph();
+  const std::string dir = FreshDir("serve_registry_basic");
+  ServableModel v1 = MakeServable(graph, 1, ModelFamily::kGcn, 11);
+  ServableModel v2 = MakeServable(graph, 2, ModelFamily::kAppnp, 12);
+  ASSERT_TRUE(ModelRegistry::Publish(dir, 1, v1.config, v1.params,
+                                     v1.num_classes)
+                  .ok());
+  ASSERT_TRUE(ModelRegistry::Publish(dir, 2, v2.config, v2.params,
+                                     v2.num_classes)
+                  .ok());
+  ModelRegistry registry(dir);
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.active_version(), 2);
+  EXPECT_EQ(registry.Versions(), (std::vector<int>{1, 2}));
+  ASSERT_NE(registry.Version(1), nullptr);
+  EXPECT_EQ(registry.Version(1)->config.family, ModelFamily::kGcn);
+  EXPECT_EQ(registry.Version(3), nullptr);
+  EXPECT_TRUE(registry.ValidateCompatibility(graph).ok());
+}
+
+TEST(ModelRegistryTest, RefreshHotSwapsWhileOldHandleStaysValid) {
+  Graph graph = SmallGraph();
+  const std::string dir = FreshDir("serve_registry_swap");
+  ServableModel v1 = MakeServable(graph, 1);
+  ASSERT_TRUE(ModelRegistry::Publish(dir, 1, v1.config, v1.params,
+                                     v1.num_classes)
+                  .ok());
+  ModelRegistry registry(dir);
+  ASSERT_TRUE(registry.Refresh().ok());
+  std::shared_ptr<const ServableModel> old_active = registry.Active();
+  ASSERT_NE(old_active, nullptr);
+  EXPECT_EQ(old_active->version, 1);
+
+  ServableModel v2 = MakeServable(graph, 2, ModelFamily::kSgc, 21);
+  ASSERT_TRUE(ModelRegistry::Publish(dir, 2, v2.config, v2.params,
+                                     v2.num_classes)
+                  .ok());
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.Active()->version, 2);
+  // An in-flight batch pinning v1 keeps serving it.
+  EXPECT_EQ(old_active->version, 1);
+  EXPECT_EQ(old_active->config.family, ModelFamily::kGcn);
+}
+
+TEST(ModelRegistryTest, MissingManifestIsNotFound) {
+  ModelRegistry registry(FreshDir("serve_registry_missing"));
+  EXPECT_EQ(registry.Refresh().code(), Status::Code::kNotFound);
+  EXPECT_EQ(registry.Active(), nullptr);
+  EXPECT_EQ(registry.active_version(), 0);
+}
+
+TEST(ModelRegistryTest, RejectsManifestHeadMismatch) {
+  Graph graph = SmallGraph();
+  const std::string dir = FreshDir("serve_registry_corrupt");
+  ServableModel v1 = MakeServable(graph, 1);
+  ASSERT_TRUE(ModelRegistry::Publish(dir, 1, v1.config, v1.params,
+                                     v1.num_classes)
+                  .ok());
+  // Manifest claims a class count the stored head cannot produce.
+  {
+    std::ofstream manifest(dir + "/registry.tsv", std::ios::trunc);
+    manifest << "ahg-registry\t1\n1\tmodel_v1.ahgm\t7\n";
+  }
+  ModelRegistry registry(dir);
+  Status s = registry.Refresh();
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(registry.Active(), nullptr);
+}
+
+TEST(ModelRegistryTest, PublishRejectsTruncatedParams) {
+  Graph graph = SmallGraph();
+  ServableModel model = MakeServable(graph, 1);
+  model.params.pop_back();  // drop the head bias
+  EXPECT_EQ(ModelRegistry::Publish(FreshDir("serve_registry_bad"), 1,
+                                   model.config, model.params,
+                                   model.num_classes)
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ModelRegistryTest, ValidateCompatibilityRejectsWrongGraph) {
+  Graph graph = SmallGraph();
+  const std::string dir = FreshDir("serve_registry_compat");
+  ServableModel v1 = MakeServable(graph, 1);
+  ASSERT_TRUE(ModelRegistry::Publish(dir, 1, v1.config, v1.params,
+                                     v1.num_classes)
+                  .ok());
+  ModelRegistry registry(dir);
+  ASSERT_TRUE(registry.Refresh().ok());
+  SyntheticConfig other;
+  other.num_nodes = 30;
+  other.num_classes = 3;
+  other.feature_dim = 9;  // wrong width
+  Graph incompatible = GenerateSbmGraph(other);
+  EXPECT_EQ(registry.ValidateCompatibility(incompatible).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(InferenceEngineTest, MatchesTrainingPathBitwise) {
+  Graph graph = SmallGraph();
+  for (ModelFamily family :
+       {ModelFamily::kGcn, ModelFamily::kAppnp, ModelFamily::kGat}) {
+    ServableModel model = MakeServable(graph, 1, family, 31);
+    ServeStats stats;
+    InferenceEngine engine(&graph, EngineOptions{}, &stats);
+    auto served = engine.PredictAll(model);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    Matrix training = InferenceEngine::TrainingPathProbs(model, graph);
+    EXPECT_EQ(MaxAbsDiff(served.value(), training), 0.0)
+        << "family " << ModelFamilyName(family);
+  }
+}
+
+TEST(InferenceEngineTest, GatheredBatchMatchesFullRows) {
+  Graph graph = SmallGraph();
+  ServableModel model = MakeServable(graph, 1);
+  InferenceEngine engine(&graph, EngineOptions{});
+  auto all = engine.PredictAll(model);
+  ASSERT_TRUE(all.ok());
+  const std::vector<int> nodes = {5, 0, 47, 5, 23};
+  auto batch = engine.PredictNodes(model, nodes);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int c = 0; c < graph.num_classes(); ++c) {
+      EXPECT_EQ(batch.value()(static_cast<int>(i), c),
+                all.value()(nodes[i], c));
+    }
+  }
+}
+
+TEST(InferenceEngineTest, SecondQueryHitsCache) {
+  Graph graph = SmallGraph();
+  ServableModel model = MakeServable(graph, 1);
+  ServeStats stats;
+  InferenceEngine engine(&graph, EngineOptions{}, &stats);
+  ASSERT_TRUE(engine.Warm(model).ok());
+  ASSERT_TRUE(engine.PredictNodes(model, {3}).ok());
+  EXPECT_EQ(engine.cache().misses(), 1);
+  EXPECT_EQ(engine.cache().hits(), 1);
+  ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.cache_misses, 1);
+  EXPECT_EQ(snap.cache_hits, 1);
+  EXPECT_EQ(snap.cache_bytes, int64_t{graph.num_nodes()} *
+                                  model.config.hidden_dim * 8);
+}
+
+TEST(InferenceEngineTest, RejectsBadInputs) {
+  Graph graph = SmallGraph();
+  ServableModel model = MakeServable(graph, 1);
+  InferenceEngine engine(&graph, EngineOptions{});
+  EXPECT_EQ(engine.PredictNodes(model, {graph.num_nodes()}).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(engine.PredictNodes(model, {-1}).status().code(),
+            Status::Code::kInvalidArgument);
+  ServableModel wrong = model;
+  wrong.config.in_dim = model.config.in_dim + 1;
+  EXPECT_EQ(engine.PredictNodes(wrong, {0}).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+// End-to-end fixture: registry dir + engine + batcher over a small graph.
+class BatcherFixture {
+ public:
+  explicit BatcherFixture(const std::string& name) : graph_(SmallGraph()) {
+    dir_ = FreshDir(name);
+    ServableModel v1 = MakeServable(graph_, 1);
+    AHG_CHECK(ModelRegistry::Publish(dir_, 1, v1.config, v1.params,
+                                     v1.num_classes)
+                  .ok());
+    registry_ = std::make_unique<ModelRegistry>(dir_);
+    AHG_CHECK(registry_->Refresh().ok());
+  }
+
+  Graph graph_;
+  std::string dir_;
+  std::unique_ptr<ModelRegistry> registry_;
+};
+
+TEST(RequestBatcherTest, AnswersMatchDirectPrediction) {
+  BatcherFixture fx("serve_batcher_basic");
+  ServeStats stats;
+  InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.max_batch_size = 4;
+  options.deadline_ms = 60000.0;
+  RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int node = 0; node < fx.graph_.num_nodes(); ++node) {
+    futures.push_back(batcher.Enqueue(node));
+  }
+  batcher.Drain();
+
+  auto expected = engine.PredictAll(*fx.registry_->Active());
+  ASSERT_TRUE(expected.ok());
+  for (int node = 0; node < fx.graph_.num_nodes(); ++node) {
+    QueryResult result = futures[node].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    ASSERT_EQ(static_cast<int>(result.probs.size()),
+              fx.graph_.num_classes());
+    double sum = 0.0;
+    for (int c = 0; c < fx.graph_.num_classes(); ++c) {
+      EXPECT_EQ(result.probs[c], expected.value()(node, c));
+      sum += result.probs[c];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.completed, fx.graph_.num_nodes());
+  EXPECT_EQ(snap.deadline_violations, 0);
+  EXPECT_EQ(snap.rejected, 0);
+  EXPECT_GT(snap.qps, 0.0);
+  EXPECT_GE(snap.p99_latency_ms, snap.p50_latency_ms);
+  int64_t histogram_total = 0;
+  for (int b = 0; b < kBatchHistogramBuckets; ++b) {
+    histogram_total += snap.batch_size_histogram[b];
+  }
+  EXPECT_EQ(histogram_total, snap.batches);
+}
+
+// The acceptance contract: served outputs are bitwise identical across
+// batcher pool sizes {1, 2, 4}. Each run uses a fresh engine (cold cache)
+// so the propagation product itself is recomputed per thread count.
+TEST(RequestBatcherTest, BitwiseIdenticalAcrossThreadCounts) {
+  BatcherFixture fx("serve_batcher_determinism");
+  std::vector<std::vector<double>> reference;
+  for (int threads : {1, 2, 4}) {
+    ServeStats stats;
+    InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+    BatcherOptions options;
+    options.max_batch_size = 3;
+    options.num_threads = threads;
+    options.deadline_ms = 60000.0;
+    RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+    std::vector<std::future<QueryResult>> futures;
+    for (int node = 0; node < fx.graph_.num_nodes(); ++node) {
+      futures.push_back(batcher.Enqueue(node));
+    }
+    batcher.Drain();
+    std::vector<std::vector<double>> outputs;
+    for (auto& future : futures) {
+      QueryResult result = future.get();
+      ASSERT_TRUE(result.status.ok());
+      outputs.push_back(std::move(result.probs));
+    }
+    if (reference.empty()) {
+      reference = std::move(outputs);
+    } else {
+      ASSERT_EQ(outputs.size(), reference.size());
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        ASSERT_EQ(outputs[i].size(), reference[i].size());
+        for (size_t c = 0; c < outputs[i].size(); ++c) {
+          EXPECT_EQ(outputs[i][c], reference[i][c])
+              << "threads=" << threads << " node=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RequestBatcherTest, ExpiredDeadlineIsCountedAndReported) {
+  BatcherFixture fx("serve_batcher_deadline");
+  ServeStats stats;
+  InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.max_batch_size = 64;  // force all requests into the Flush() batch
+  RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+  std::vector<std::future<QueryResult>> futures;
+  for (int node = 0; node < 8; ++node) {
+    // A deadline no queue can meet.
+    futures.push_back(batcher.Enqueue(node, /*deadline_ms=*/1e-9));
+  }
+  batcher.Drain();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status.code(), Status::Code::kDeadlineExceeded);
+  }
+  EXPECT_EQ(stats.Snapshot().deadline_violations, 8);
+  EXPECT_EQ(stats.Snapshot().completed, 0);
+}
+
+TEST(RequestBatcherTest, QueueLimitRejectsOverload) {
+  BatcherFixture fx("serve_batcher_overload");
+  ServeStats stats;
+  InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.max_batch_size = 1000;  // nothing drains until Flush
+  options.queue_limit = 8;
+  options.deadline_ms = 60000.0;
+  RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(batcher.Enqueue(i % fx.graph_.num_nodes()));
+  }
+  batcher.Drain();
+  int ok = 0, rejected = 0;
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    if (result.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(result.status.code(), Status::Code::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 8);
+  EXPECT_EQ(rejected, 12);
+  EXPECT_EQ(stats.Snapshot().rejected, 12);
+}
+
+TEST(RequestBatcherTest, NoActiveModelFailsRequests) {
+  Graph graph = SmallGraph();
+  ModelRegistry registry(FreshDir("serve_batcher_empty"));
+  ServeStats stats;
+  InferenceEngine engine(&graph, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.deadline_ms = 60000.0;
+  RequestBatcher batcher(&engine, &registry, options, &stats);
+  auto future = batcher.Enqueue(0);
+  batcher.Drain();
+  EXPECT_EQ(future.get().status.code(), Status::Code::kNotFound);
+  EXPECT_EQ(stats.Snapshot().failed, 1);
+}
+
+TEST(ServeStatsTest, BucketLabelsAndReset) {
+  EXPECT_EQ(ServeStatsSnapshot::BucketLabel(0), "1");
+  EXPECT_EQ(ServeStatsSnapshot::BucketLabel(1), "2");
+  EXPECT_EQ(ServeStatsSnapshot::BucketLabel(2), "3-4");
+  EXPECT_EQ(ServeStatsSnapshot::BucketLabel(3), "5-8");
+  EXPECT_EQ(ServeStatsSnapshot::BucketLabel(kBatchHistogramBuckets - 1),
+            "129+");
+  ServeStats stats;
+  stats.RecordCompleted(1.0);
+  stats.RecordCompleted(3.0);
+  stats.RecordBatch(2);
+  stats.RecordBatch(64);
+  ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.completed, 2);
+  EXPECT_EQ(snap.batches, 2);
+  EXPECT_EQ(snap.batch_size_histogram[1], 1);
+  EXPECT_EQ(snap.batch_size_histogram[6], 1);  // 33-64 bucket
+  EXPECT_GE(snap.p99_latency_ms, snap.p50_latency_ms);
+  EXPECT_FALSE(FormatStatsTable(snap).empty());
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().total(), 0);
+}
+
+}  // namespace
+}  // namespace ahg::serve

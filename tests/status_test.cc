@@ -24,6 +24,14 @@ TEST(StatusTest, EachFactoryProducesItsCode) {
             Status::Code::kInvalidArgument);
   EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
   EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
 }
 
 TEST(StatusOrTest, HoldsValue) {
