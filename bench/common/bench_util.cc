@@ -9,6 +9,8 @@
 #include "ensemble/baselines.h"
 #include "metrics/aggregate.h"
 #include "metrics/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ahg::bench {
 
@@ -17,6 +19,41 @@ bool FastMode(int argc, char** argv) {
     if (std::strcmp(argv[i], "--fast") == 0) return true;
   }
   return false;
+}
+
+ObsFlags ParseObsFlags(int argc, char** argv) {
+  ObsFlags flags;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      flags.trace_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      flags.metrics_out = argv[i + 1];
+    }
+  }
+  if (!flags.trace_out.empty()) obs::TraceRecorder::Instance().Enable();
+  return flags;
+}
+
+bool FlushObsOutputs(const ObsFlags& flags) {
+  if (!flags.trace_out.empty()) {
+    Status s =
+        obs::TraceRecorder::Instance().WriteChromeTrace(flags.trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote trace to %s\n", flags.trace_out.c_str());
+  }
+  if (!flags.metrics_out.empty()) {
+    Status s = obs::MetricsRegistry::Global().WriteTsv(flags.metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   s.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote metrics to %s\n", flags.metrics_out.c_str());
+  }
+  return true;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> header) {

@@ -21,6 +21,21 @@ namespace ahg::bench {
 // True when --fast was passed (smoke-test mode: fewer repeats/epochs).
 bool FastMode(int argc, char** argv);
 
+// Observability flags shared by the benches: --trace-out FILE enables
+// tracing and (at FlushObsOutputs) writes a chrome://tracing JSON timeline;
+// --metrics-out FILE dumps the process metrics registry as TSV.
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+// Parses the flags above and enables tracing when --trace-out was given.
+ObsFlags ParseObsFlags(int argc, char** argv);
+
+// Writes whichever outputs were requested; returns false (and prints to
+// stderr) when a write fails. Call once, after the measured work.
+bool FlushObsOutputs(const ObsFlags& flags);
+
 // Column-aligned plain-text table.
 class TablePrinter {
  public:

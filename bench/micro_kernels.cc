@@ -3,9 +3,17 @@
 // full GCN forward+backward step — plus a threads=1/2/4 sweep of the
 // row-parallel SpMM/GEMM kernels on a 50k-node SBM graph that reports the
 // parallel speedup directly (counters `speedup_vs_1t`).
+//
+// Accepts --trace-out FILE / --metrics-out FILE in addition to the standard
+// google-benchmark flags (ours are stripped before benchmark::Initialize,
+// which rejects flags it does not know).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "autodiff/graph_ops.h"
+#include "common/bench_util.h"
 #include "autodiff/ops.h"
 #include "graph/synthetic.h"
 #include "models/model.h"
@@ -215,4 +223,25 @@ BENCHMARK(BM_BackwardOverhead);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const ahg::bench::ObsFlags obs_flags =
+      ahg::bench::ParseObsFlags(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--trace-out") == 0 ||
+         std::strcmp(argv[i], "--metrics-out") == 0) &&
+        i + 1 < argc) {
+      ++i;  // skip the flag and its value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ahg::bench::FlushObsOutputs(obs_flags) ? 0 : 1;
+}

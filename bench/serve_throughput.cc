@@ -13,7 +13,7 @@
 // cache-warm batched qps must be >= 5x the naive per-query qps. Exits
 // non-zero when the bound does not hold, so CI can gate on it.
 //
-// Usage: serve_throughput [--fast]
+// Usage: serve_throughput [--fast] [--trace-out FILE] [--metrics-out FILE]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +43,8 @@ double MedianMs(std::vector<double> samples) {
 
 int Main(int argc, char** argv) {
   const bool fast = ahg::bench::FastMode(argc, argv);
+  const ahg::bench::ObsFlags obs_flags =
+      ahg::bench::ParseObsFlags(argc, argv);
 
   SyntheticConfig cfg;
   cfg.name = "serve-bench";
@@ -170,6 +172,8 @@ int Main(int argc, char** argv) {
                   StrFormat("%.1fx", qps / naive_qps)});
   }
   table.Print();
+
+  if (!ahg::bench::FlushObsOutputs(obs_flags)) return 1;
 
   const double speedup = best_batched_qps / naive_qps;
   std::printf("\ncache-warm batched vs naive full-forward: %.1fx "

@@ -6,6 +6,11 @@
 // Usage:
 //   autograph_cli --data DIR [--algo adaptive|gradient] [--pool N] [--k K]
 //                 [--seed S] [--out FILE] [--nas] [--threads T]
+//                 [--trace-out FILE] [--metrics-out FILE]
+//
+// --trace-out enables tracing and writes a chrome://tracing JSON timeline
+// of the whole run (pipeline stages, training epochs, SpMM/GEMM kernels);
+// --metrics-out writes the process metrics registry as TSV at exit.
 //
 // --threads T pins the kernel thread count (SpMM/GEMM row-parallelism);
 // when omitted the hardware default is used. Results are bitwise identical
@@ -26,6 +31,8 @@
 #include "graph/synthetic.h"
 #include "io/autograph_format.h"
 #include "models/model_zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -49,6 +56,9 @@ bool HasFlag(int argc, char** argv, const char* name) {
 
 int main(int argc, char** argv) {
   using namespace ahg;
+  const std::string trace_out = FlagValue(argc, argv, "--trace-out", "");
+  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Instance().Enable();
   const int threads = std::atoi(FlagValue(argc, argv, "--threads", "0"));
   if (threads > 0) SetNumThreads(threads);
   std::printf("kernel threads: %d\n", GetNumThreads());
@@ -143,5 +153,24 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %zu predictions to %s\n", ds.test_nodes.size(),
               out_path.c_str());
+
+  if (!trace_out.empty()) {
+    Status s = obs::TraceRecorder::Instance().WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s (load via chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    Status s = obs::MetricsRegistry::Global().WriteTsv(metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

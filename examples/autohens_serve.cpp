@@ -11,13 +11,22 @@
 // Usage:
 //   autohens_serve [--registry DIR] [--nodes N] [--queries Q] [--batch B]
 //                  [--serve-threads T] [--deadline-ms D] [--queue-limit L]
-//                  [--seed S] [--assert-no-violations]
+//                  [--max-queue-delay-ms M] [--seed S]
+//                  [--assert-no-violations] [--trace-out FILE]
+//                  [--metrics-out FILE] [--report-interval-s R]
 //
 // --assert-no-violations exits non-zero when any request misses its
 // deadline or is rejected — the CI smoke contract.
+//
+// Observability: --trace-out enables tracing and writes a chrome://tracing
+// JSON timeline (queue waits, batch execution, cache hits/misses, SpMM);
+// --metrics-out dumps the process metrics registry as TSV at exit;
+// --report-interval-s R prints a one-line metrics summary every R seconds
+// while the trace replays (0 disables; default 1).
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +38,9 @@
 #include "serve/inference_engine.h"
 #include "serve/model_registry.h"
 #include "serve/propagation_cache.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "serve/request_batcher.h"
 #include "serve/serve_stats.h"
 #include "tensor/alloc_tracker.h"
@@ -103,6 +115,13 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "17")));
   const bool assert_no_violations =
       HasFlag(argc, argv, "--assert-no-violations");
+  const double max_queue_delay_ms =
+      std::atof(FlagValue(argc, argv, "--max-queue-delay-ms", "10"));
+  const std::string trace_out = FlagValue(argc, argv, "--trace-out", "");
+  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out", "");
+  const double report_interval_s =
+      std::atof(FlagValue(argc, argv, "--report-interval-s", "1"));
+  if (!trace_out.empty()) obs::TraceRecorder::Instance().Enable();
 
   // The serving graph (stands in for the production graph snapshot).
   SyntheticConfig graph_cfg;
@@ -172,7 +191,22 @@ int main(int argc, char** argv) {
   options.queue_limit = queue_limit;
   options.deadline_ms = deadline_ms;
   options.num_threads = serve_threads;
+  options.max_queue_delay_ms = max_queue_delay_ms;
   RequestBatcher batcher(&engine, &registry, options, &stats);
+
+  // Periodic one-line health report while the trace replays, driven off the
+  // shared stats block; stops (dtor) before the final table prints.
+  auto reporter = std::make_unique<obs::PeriodicReporter>(
+      report_interval_s, [&stats] {
+        ServeStatsSnapshot s = stats.Snapshot();
+        std::printf("[report] completed=%lld qps=%.0f p50=%.2fms p99=%.2fms "
+                    "cache_hit=%lld/%lld batches=%lld\n",
+                    static_cast<long long>(s.completed), s.qps,
+                    s.p50_latency_ms, s.p99_latency_ms,
+                    static_cast<long long>(s.cache_hits),
+                    static_cast<long long>(s.cache_hits + s.cache_misses),
+                    static_cast<long long>(s.batches));
+      });
 
   // Synthetic query trace: uniform-random nodes; halfway through, a new
   // generation is published and hot-swapped in while serving continues.
@@ -207,6 +241,7 @@ int main(int argc, char** argv) {
         batcher.Enqueue(static_cast<int>(trace_rng.UniformInt(num_nodes))));
   }
   batcher.Drain();
+  reporter.reset();  // stop reporting before the summary prints
   const double replay_seconds = replay.ElapsedSeconds();
 
   int64_t answered = 0;
@@ -223,6 +258,24 @@ int main(int argc, char** argv) {
               static_cast<long long>(AllocTracker::PeakBytes()));
   std::printf("  cache_entries         %lld\n",
               static_cast<long long>(engine.cache().num_entries()));
+
+  if (!trace_out.empty()) {
+    if (Status s = obs::TraceRecorder::Instance().WriteChromeTrace(trace_out);
+        !s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  trace                 %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (Status s = obs::MetricsRegistry::Global().WriteTsv(metrics_out);
+        !s.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  metrics               %s\n", metrics_out.c_str());
+  }
 
   if (assert_no_violations &&
       (snap.deadline_violations > 0 || snap.rejected > 0 ||

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace ahg {
 
 Var Spmm(const SparseMatrix& a, const Var& x) {
@@ -23,6 +25,7 @@ Var Spmm(const SparseMatrix& a, const Var& x) {
 
 Var NeighborMaxPool(const SparseMatrix& a, const Var& x) {
   AHG_CHECK_EQ(x->rows(), a.cols());
+  AHG_TRACE_SPAN_ARG("autodiff/neighbor_max_pool", a.nnz() * x->cols());
   const int d = x->cols();
   Matrix out(a.rows(), d);
   // argmax[r * d + c] = source row that produced out(r, c); -1 if row empty.
@@ -66,6 +69,7 @@ Var GatAggregate(const SparseMatrix& a, const Var& s_src, const Var& s_dst,
   AHG_CHECK_EQ(s_src->rows(), h->rows());
   AHG_CHECK_EQ(s_dst->rows(), a.rows());
   AHG_CHECK_EQ(h->rows(), a.cols());
+  AHG_TRACE_SPAN_ARG("autodiff/gat_aggregate", a.nnz() * h->cols());
   const int d = h->cols();
   const int64_t nnz = a.nnz();
   // Cached per-edge state for backward: softmax weights and the sign of the

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace ahg {
 namespace {
 
@@ -86,6 +88,8 @@ void Backward(const Var& root) {
                 "Backward root does not depend on any parameter");
   std::vector<Node*> order;
   TopoSort(root, &order);
+  AHG_TRACE_SPAN_ARG("autodiff/backward",
+                     static_cast<int64_t>(order.size()));
   root->EnsureGrad();
   root->grad(0, 0) += 1.0;
   // Post-order lists dependencies first; reverse iteration therefore visits
@@ -93,6 +97,8 @@ void Backward(const Var& root) {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
     if (node->backward_fn && !node->grad.empty()) {
+      AHG_TRACE_SPAN_ARG("autodiff/backward_op",
+                         node->value.size());
       node->backward_fn(*node);
     }
   }

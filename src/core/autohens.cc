@@ -2,6 +2,7 @@
 
 #include "ensemble/baselines.h"
 #include "metrics/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace ahg {
@@ -9,6 +10,7 @@ namespace ahg {
 AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
                               const std::vector<CandidateSpec>& candidates,
                               const AutoHEnsConfig& config) {
+  AHG_TRACE_SPAN("pipeline/autohens");
   Stopwatch budget_watch;
   AutoHEnsResult result;
 
@@ -28,6 +30,7 @@ AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
 
   // Stage 2: architecture/ensemble-weight search on the base split.
   {
+    AHG_TRACE_SPAN("pipeline/search");
     Stopwatch watch;
     if (config.algo == SearchAlgo::kGradient) {
       GradientSearchConfig gcfg = config.gradient;
@@ -55,6 +58,7 @@ AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
   // (Section III-B: "construct bagging of models trained on the different
   // splits of the dataset to reduce variance").
   {
+    AHG_TRACE_SPAN("pipeline/retrain_bagging");
     Stopwatch watch;
     Rng resplit_rng(config.seed ^ 0xba99ULL);
     std::vector<Matrix> bagged;

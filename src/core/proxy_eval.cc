@@ -5,6 +5,7 @@
 
 #include "graph/sampling.h"
 #include "metrics/aggregate.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -13,6 +14,7 @@ namespace ahg {
 ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,
                               const Graph& graph, const ProxyConfig& config,
                               uint64_t seed) {
+  AHG_TRACE_SPAN_ARG("search/proxy_eval", static_cast<int64_t>(pool.size()));
   Stopwatch total_watch;
   // One proxy graph + split per bagging round, shared by all candidates so
   // every model is ranked on identical data.
@@ -42,6 +44,7 @@ ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,
   result.ranked.resize(pool.size());
   ParallelFor(
       static_cast<int>(pool.size()), config.num_threads, [&](int i) {
+        AHG_TRACE_SPAN_ARG("search/proxy_candidate", i);
         const CandidateSpec& spec = pool[i];
         CandidateScore score;
         score.name = spec.name;

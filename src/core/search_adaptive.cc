@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace ahg {
@@ -43,6 +44,7 @@ AdaptiveSearchResult SearchAdaptive(const std::vector<CandidateSpec>& pool,
                                     const DataSplit& split,
                                     const AdaptiveSearchConfig& config) {
   AHG_CHECK(!pool.empty());
+  AHG_TRACE_SPAN_ARG("search/adaptive", static_cast<int64_t>(pool.size()));
   Stopwatch watch;
   AdaptiveSearchResult result;
   for (size_t j = 0; j < pool.size(); ++j) {

@@ -6,6 +6,7 @@
 #include "core/gse.h"
 #include "metrics/metrics.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace ahg {
@@ -15,6 +16,7 @@ GradientSearchResult SearchGradient(const std::vector<CandidateSpec>& pool,
                                     const DataSplit& split,
                                     const GradientSearchConfig& config) {
   AHG_CHECK(!pool.empty());
+  AHG_TRACE_SPAN_ARG("search/gradient", static_cast<int64_t>(pool.size()));
   Stopwatch watch;
   const int n = static_cast<int>(pool.size());
 

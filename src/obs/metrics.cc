@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ahg::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    AHG_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,    10,   25,
+          50,   100, 250,  500, 1000, 2500, 5000, 10000};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+namespace {
+
+std::string BoundLabel(double bound) {
+  // Render integral bounds without a trailing ".000".
+  if (bound == static_cast<int64_t>(bound)) {
+    return StrFormat("%lld", static_cast<long long>(bound));
+  }
+  return FormatFloat(bound, 3);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  auto row = [&out](const std::string& field, const std::string& value) {
+    out << "  " << field;
+    for (size_t i = field.size(); i < 34; ++i) out << ' ';
+    out << value << "\n";
+  };
+  for (const auto& [name, counter] : counters_) {
+    row(name, StrFormat("%lld", static_cast<long long>(counter->Value())));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    row(name, FormatFloat(gauge->Value(), 3));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    row(name + "_count",
+        StrFormat("%lld", static_cast<long long>(histogram->TotalCount())));
+    row(name + "_sum", FormatFloat(histogram->Sum(), 3));
+    const std::vector<int64_t> counts = histogram->BucketCounts();
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      const std::string label =
+          b < histogram->bounds().size()
+              ? "le=" + BoundLabel(histogram->bounds()[b])
+              : "le=+inf";
+      row("  " + name + "{" + label + "}",
+          StrFormat("%lld", static_cast<long long>(counts[b])));
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportTsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << "\tcounter\t" << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << "\tgauge\t" << FormatFloat(gauge->Value(), 6) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::vector<int64_t> counts = histogram->BucketCounts();
+    for (size_t b = 0; b < counts.size(); ++b) {
+      const std::string label = b < histogram->bounds().size()
+                                    ? BoundLabel(histogram->bounds()[b])
+                                    : "+inf";
+      out << name << "{le=" << label << "}\thistogram\t" << counts[b] << "\n";
+    }
+    out << name << "_count\thistogram\t" << histogram->TotalCount() << "\n";
+    out << name << "_sum\thistogram\t" << FormatFloat(histogram->Sum(), 6)
+        << "\n";
+  }
+  return out.str();
+}
+
+Status MetricsRegistry::WriteTsv(const std::string& path) const {
+  const std::string tsv = ExportTsv();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open metrics output " + path);
+  }
+  const size_t written = std::fwrite(tsv.data(), 1, tsv.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != tsv.size() || !closed) {
+    return Status::IOError("short write to metrics output " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ahg::obs

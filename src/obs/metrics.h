@@ -1,0 +1,108 @@
+// Named counters, gauges and fixed-bucket histograms with a text/TSV
+// exporter — the metrics half of the observability layer. Generalizes what
+// ServeStats did for the serving stack: any component registers a metric
+// once (registration takes a lock; the returned handle is stable for the
+// registry's lifetime) and then updates it with relaxed atomics, so the
+// record path is lock-free and safe from any thread.
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+// "serve.completed", "serve.latency_ms", "tensor.spmm_calls".
+#ifndef AUTOHENS_OBS_METRICS_H_
+#define AUTOHENS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ahg::obs {
+
+// Monotonically increasing 64-bit count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins scalar (e.g. bytes currently pinned by a cache).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. `bounds` are strictly increasing upper edges with
+// "less-or-equal" semantics (a value lands in the first bucket whose bound
+// is >= value); values above the last bound land in an implicit +inf
+// bucket, so BucketCounts() has bounds.size() + 1 entries.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> BucketCounts() const;
+  int64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Default latency bucket edges in milliseconds (sub-ms to 10s, roughly
+// geometric), shared by the serve histograms.
+std::vector<double> DefaultLatencyBucketsMs();
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry used by all built-in instrumentation. Tests may
+  // construct private registries.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. A histogram's bounds are fixed by the first
+  // registration; later callers get the existing instance.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  // Aligned human-readable dump (one metric per line, histograms as
+  // bucket rows), for periodic reporters and demo output.
+  std::string ExportText() const;
+
+  // Machine-readable TSV: `name<TAB>type<TAB>value`. Histograms expand to
+  // one `name{le=BOUND}` row per bucket plus `_count` / `_sum` rows.
+  std::string ExportTsv() const;
+  Status WriteTsv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ahg::obs
+
+#endif  // AUTOHENS_OBS_METRICS_H_

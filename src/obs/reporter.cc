@@ -1,0 +1,36 @@
+#include "obs/reporter.h"
+
+#include <chrono>
+
+namespace ahg::obs {
+
+PeriodicReporter::PeriodicReporter(double interval_seconds,
+                                   std::function<void()> report)
+    : report_(std::move(report)) {
+  if (interval_seconds > 0.0 && report_) {
+    thread_ = std::thread(&PeriodicReporter::Loop, this, interval_seconds);
+  }
+}
+
+PeriodicReporter::~PeriodicReporter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicReporter::Loop(double interval_seconds) {
+  const auto interval =
+      std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    report_();
+    lock.lock();
+  }
+}
+
+}  // namespace ahg::obs

@@ -1,0 +1,38 @@
+// Background thread that invokes a report callback on a fixed interval —
+// the serving demo uses it to print a metrics line while the trace replays.
+#ifndef AUTOHENS_OBS_REPORTER_H_
+#define AUTOHENS_OBS_REPORTER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ahg::obs {
+
+class PeriodicReporter {
+ public:
+  // Calls `report` every `interval_seconds` until destruction; the callback
+  // runs on the reporter's own thread. interval_seconds <= 0 or a null
+  // callback constructs an inert reporter.
+  PeriodicReporter(double interval_seconds, std::function<void()> report);
+
+  // Stops the thread; an in-progress callback finishes first.
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+ private:
+  void Loop(double interval_seconds);
+
+  std::function<void()> report_;
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ahg::obs
+
+#endif  // AUTOHENS_OBS_REPORTER_H_

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace ahg::obs {
+
+std::atomic<bool> g_trace_enabled{false};
+
+// Per-thread ring of completed spans. The owning thread appends under mu;
+// the lock is uncontended except while a Drain() is copying this buffer, so
+// the record path stays a few nanoseconds. The recorder's registry holds a
+// shared_ptr, keeping events from exited threads alive until drained.
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring once size reaches capacity
+  size_t next = 0;                 // overwrite cursor when full
+  int64_t overwritten = 0;
+  uint32_t tid = 0;
+};
+
+struct TraceRecorder::Impl {
+  std::chrono::steady_clock::time_point epoch;
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 0;
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {
+  impl_->epoch = std::chrono::steady_clock::now();
+}
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // The recorder is a process-wide singleton, so one cached buffer per
+  // thread suffices; the registry keeps it alive past thread exit.
+  thread_local std::shared_ptr<ThreadBuffer> tl_buffer;
+  if (tl_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->events.reserve(256);
+    {
+      std::lock_guard<std::mutex> lock(impl_->registry_mu);
+      buffer->tid = impl_->next_tid++;
+      impl_->buffers.push_back(buffer);
+    }
+    tl_buffer = std::move(buffer);
+  }
+  return tl_buffer.get();
+}
+
+void TraceRecorder::Emit(const char* name, uint64_t start_us, uint64_t dur_us,
+                         int64_t arg) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  TraceEvent event;
+  event.name = name;
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  event.arg = arg;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  event.tid = buffer->tid;
+  if (buffer->events.size() < kThreadBufferCapacity) {
+    buffer->events.push_back(event);
+  } else {
+    buffer->events[buffer->next] = event;
+    buffer->next = (buffer->next + 1) % kThreadBufferCapacity;
+    ++buffer->overwritten;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    buffers = impl_->buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    // Oldest-first: [next, end) wrapped before [0, next).
+    for (size_t i = buffer->next; i < buffer->events.size(); ++i) {
+      out.push_back(buffer->events[i]);
+    }
+    for (size_t i = 0; i < buffer->next; ++i) {
+      out.push_back(buffer->events[i]);
+    }
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->overwritten = 0;  // dropped() reports per-drain-interval counts
+  }
+  return out;
+}
+
+int64_t TraceRecorder::dropped() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    buffers = impl_->buffers;
+  }
+  int64_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->overwritten;
+  }
+  return total;
+}
+
+std::string TraceRecorder::ChromeTraceJson() {
+  std::vector<TraceEvent> events = Drain();
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ",";
+    out << "\n{\"name\":\"" << e.name << "\",\"cat\":\"ahg\",\"ph\":\"X\""
+        << ",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+        << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.arg >= 0) out << ",\"args\":{\"v\":" << e.arg << "}";
+    out << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace output " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != json.size() || !closed) {
+    return Status::IOError("short write to trace output " + path);
+  }
+  return Status::OK();
+}
+
+void TraceSpan::Begin(const char* name, int64_t arg) {
+  active_ = true;
+  name_ = name;
+  arg_ = arg;
+  start_us_ = TraceRecorder::Instance().NowMicros();
+}
+
+void TraceSpan::End() {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Emit(name_, start_us_, recorder.NowMicros() - start_us_, arg_);
+}
+
+}  // namespace ahg::obs

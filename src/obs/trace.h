@@ -1,0 +1,149 @@
+// Low-overhead tracing for the whole stack: RAII TraceSpan scopes recorded
+// into per-thread ring buffers and exported as chrome://tracing JSON.
+//
+// Design (see DESIGN.md "Observability"):
+//  - A process-global enabled flag, read with one relaxed atomic load. A
+//    TraceSpan constructed while tracing is disabled does nothing else, so
+//    instrumented hot kernels (SpMM/GEMM) stay at their current speed; the
+//    AHG_OBS_FORCE_OFF compile-time switch additionally turns the macros
+//    into nothing for builds that must not carry even the branch.
+//  - Each thread appends completed spans to its own fixed-capacity ring
+//    buffer (single short uncontended lock per event; no global lock on the
+//    record path). When a ring wraps, the oldest events are overwritten and
+//    counted as dropped — recording never blocks on a slow reader.
+//  - Drain()/WriteChromeTrace() collect every thread's buffer on demand.
+//    Buffers outlive their threads (the recorder keeps them alive), so
+//    short-lived pool workers lose no events.
+//
+// Span names must be string literals (or otherwise outlive the recorder);
+// events store the pointer, not a copy.
+#ifndef AUTOHENS_OBS_TRACE_H_
+#define AUTOHENS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ahg::obs {
+
+// Internal; read through TracingEnabled().
+extern std::atomic<bool> g_trace_enabled;
+
+// One relaxed load: the only cost instrumentation pays when tracing is off.
+inline bool TracingEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// A completed span. Times are microseconds since the recorder's epoch
+// (construction of the process-wide instance).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;   // dense thread id, assigned on a thread's first event
+  int64_t arg = -1;   // optional numeric payload; -1 = none
+};
+
+class TraceRecorder {
+ public:
+  // Events each thread's ring retains before overwriting the oldest.
+  static constexpr size_t kThreadBufferCapacity = 1 << 16;
+
+  static TraceRecorder& Instance();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Enable() { g_trace_enabled.store(true, std::memory_order_relaxed); }
+  void Disable() { g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+  // Microseconds since the recorder epoch (steady clock).
+  uint64_t NowMicros() const;
+
+  // Appends a completed span to the calling thread's ring. Used by
+  // TraceSpan, and directly for spans whose start predates the caller
+  // (e.g. a request's queue wait, reconstructed at batch-execution time).
+  void Emit(const char* name, uint64_t start_us, uint64_t dur_us,
+            int64_t arg = -1);
+
+  // Removes and returns every buffered event, oldest-first per thread.
+  std::vector<TraceEvent> Drain();
+
+  // Events overwritten by ring wrap-around since the last Drain().
+  int64_t dropped() const;
+
+  // Drains into a chrome://tracing "trace event" JSON array (load via
+  // chrome://tracing or https://ui.perfetto.dev).
+  std::string ChromeTraceJson();
+  Status WriteChromeTrace(const std::string& path);
+
+ private:
+  TraceRecorder();
+  struct ThreadBuffer;
+  ThreadBuffer* BufferForThisThread();
+
+  struct Impl;
+  Impl* const impl_;
+};
+
+// Enabled-path helpers live out of line (and cold) so the code inlined into
+// an instrumented function is only the relaxed load and an untaken branch —
+// keeping register pressure and frame layout in hot kernels unperturbed.
+#if defined(__GNUC__)
+#define AHG_OBS_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define AHG_OBS_COLD __attribute__((noinline, cold))
+#else
+#define AHG_OBS_UNLIKELY(x) (x)
+#define AHG_OBS_COLD
+#endif
+
+// RAII scope: records [construction, destruction) as one span when tracing
+// is enabled at construction time; otherwise a no-op.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, int64_t arg = -1) {
+    if (AHG_OBS_UNLIKELY(TracingEnabled())) Begin(name, arg);
+  }
+
+  ~TraceSpan() {
+    if (AHG_OBS_UNLIKELY(active_)) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  AHG_OBS_COLD void Begin(const char* name, int64_t arg);
+  AHG_OBS_COLD void End();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  int64_t arg_ = -1;
+  uint64_t start_us_ = 0;
+};
+
+// Instrumentation macros. AHG_OBS_FORCE_OFF removes spans at compile time;
+// otherwise the per-call cost with tracing disabled is one relaxed atomic
+// load and an untaken branch.
+#if defined(AHG_OBS_FORCE_OFF)
+#define AHG_TRACE_SPAN(name) \
+  do {                       \
+  } while (false)
+#define AHG_TRACE_SPAN_ARG(name, arg) \
+  do {                                \
+  } while (false)
+#else
+#define AHG_OBS_CONCAT_INNER(a, b) a##b
+#define AHG_OBS_CONCAT(a, b) AHG_OBS_CONCAT_INNER(a, b)
+#define AHG_TRACE_SPAN(name) \
+  ::ahg::obs::TraceSpan AHG_OBS_CONCAT(ahg_trace_span_, __LINE__)(name)
+#define AHG_TRACE_SPAN_ARG(name, arg) \
+  ::ahg::obs::TraceSpan AHG_OBS_CONCAT(ahg_trace_span_, __LINE__)(name, (arg))
+#endif
+
+}  // namespace ahg::obs
+
+#endif  // AUTOHENS_OBS_TRACE_H_

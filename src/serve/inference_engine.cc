@@ -4,6 +4,7 @@
 
 #include "autodiff/ops.h"
 #include "nn/linear.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace ahg::serve {
@@ -52,6 +53,13 @@ StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
         zoo->params()->Restore(weights);
         return zoo->ForwardInference(*graph_, graph_->features());
       });
+  if (obs::TracingEnabled()) {
+    // Instant-style marker (the lookup itself is sub-microsecond); the
+    // miss's compute cost shows up as the enclosed serve/cache_compute span.
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Instance();
+    recorder.Emit(computed ? "serve/cache_miss" : "serve/cache_hit",
+                  recorder.NowMicros(), 0, model.version);
+  }
   if (stats_ != nullptr) {
     if (computed) {
       stats_->RecordCacheMiss();
@@ -72,6 +80,8 @@ StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
                     graph_->num_nodes()));
     }
   }
+  AHG_TRACE_SPAN_ARG("serve/predict_nodes",
+                     static_cast<int64_t>(nodes.size()));
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
   const Matrix& h = *hidden.value();

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace ahg::serve {
@@ -158,6 +160,10 @@ Status ValidateServableModel(const ServableModel& model) {
 }
 
 Status ModelRegistry::Refresh() {
+  AHG_TRACE_SPAN("serve/registry_swap");
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.registry_refreshes")
+      ->Increment();
   auto manifest = ReadManifest(dir_);
   if (!manifest.ok()) return manifest.status();
   // Load unseen versions outside the lock; swap in one writer section.

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace ahg::serve {
 
 PropagationCache::PropagationCache(int64_t byte_budget)
@@ -27,20 +29,40 @@ std::shared_ptr<const Matrix> PropagationCache::GetOrCompute(
       Entry entry;
       entry.future = promise.get_future().share();
       entry.last_used = tick_;
+      entry.owner = &promise;
       future = entry.future;
       entries_.emplace(key, std::move(entry));
     }
   }
   if (owner) {
-    auto value = std::make_shared<const Matrix>(compute());
+    std::shared_ptr<const Matrix> value;
+    try {
+      AHG_TRACE_SPAN("serve/cache_compute");
+      value = std::make_shared<const Matrix>(compute());
+    } catch (...) {
+      // Unfulfilled promises poison every waiter: erase the in-flight
+      // entry so later requests recompute, hand the exception to the
+      // waiters blocked on the future, and rethrow to this caller.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.owner == &promise) {
+          entries_.erase(it);
+        }
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
     const int64_t bytes =
         value->size() * static_cast<int64_t>(sizeof(double));
     promise.set_value(value);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    // The entry may have been Invalidate()d/Clear()ed while computing; only
-    // account for it if it is still resident.
-    if (it != entries_.end() && !it->second.ready) {
+    // The entry may have been Invalidate()d/Clear()ed (and possibly
+    // re-inserted by a newer call) while computing; only account for the
+    // entry this call owns.
+    if (it != entries_.end() && it->second.owner == &promise &&
+        !it->second.ready) {
       it->second.bytes = bytes;
       it->second.ready = true;
       bytes_ += bytes;

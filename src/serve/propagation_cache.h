@@ -43,7 +43,11 @@ class PropagationCache {
 
   // Returns the entry for `key`, invoking `compute` on the first request.
   // Concurrent callers with the same key block until that single computation
-  // publishes; `compute` runs outside the cache lock.
+  // publishes; `compute` runs outside the cache lock. If `compute` throws,
+  // the in-flight entry is erased, the exception propagates to the owner
+  // and every concurrent waiter, and the next request for the key
+  // recomputes from scratch — a failed computation never leaves a broken
+  // future resident.
   std::shared_ptr<const Matrix> GetOrCompute(
       const std::string& key, const std::function<Matrix()>& compute);
 
@@ -66,6 +70,10 @@ class PropagationCache {
     int64_t bytes = 0;      // 0 until the computation publishes
     uint64_t last_used = 0;  // LRU tick
     bool ready = false;
+    // Identifies the GetOrCompute call computing this entry, so a slow
+    // owner cannot erase or account an entry that was Invalidate()d and
+    // re-inserted by a later call in the meantime.
+    const void* owner = nullptr;
   };
 
   // Evicts ready LRU entries (never `keep`) until the budget holds.

@@ -1,8 +1,11 @@
 #include "serve/request_batcher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace ahg::serve {
@@ -21,9 +24,20 @@ RequestBatcher::RequestBatcher(InferenceEngine* engine,
   AHG_CHECK(stats != nullptr);
   AHG_CHECK_GT(options_.max_batch_size, 0);
   AHG_CHECK_GT(options_.queue_limit, 0);
+  if (options_.max_queue_delay_ms > 0.0) {
+    flusher_ = std::thread(&RequestBatcher::FlusherLoop, this);
+  }
 }
 
-RequestBatcher::~RequestBatcher() { Drain(); }
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_flusher_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  Drain();
+}
 
 std::future<QueryResult> RequestBatcher::Enqueue(int node_id,
                                                  double deadline_ms) {
@@ -46,9 +60,31 @@ std::future<QueryResult> RequestBatcher::Enqueue(int node_id,
     pending_.push_back(std::move(request));
     if (static_cast<int>(pending_.size()) >= options_.max_batch_size) {
       SubmitBatchLocked();
+    } else if (pending_.size() == 1) {
+      // Wake the flusher so it can time this batch's delay bound.
+      flusher_cv_.notify_one();
     }
   }
   return future;
+}
+
+void RequestBatcher::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_flusher_) {
+    if (pending_.empty()) {
+      flusher_cv_.wait(
+          lock, [this] { return stop_flusher_ || !pending_.empty(); });
+      continue;
+    }
+    const double waited_ms = pending_.front().enqueued.ElapsedMillis();
+    const double remaining_ms = options_.max_queue_delay_ms - waited_ms;
+    if (remaining_ms <= 0.0) {
+      SubmitBatchLocked();
+      continue;
+    }
+    flusher_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(remaining_ms));
+  }
 }
 
 void RequestBatcher::Flush() {
@@ -77,6 +113,9 @@ void RequestBatcher::SubmitBatchLocked() {
 }
 
 void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
+  AHG_TRACE_SPAN_ARG("serve/batch", static_cast<int64_t>(batch.size()));
+  static obs::Histogram* queue_wait_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.queue_wait_ms", obs::DefaultLatencyBucketsMs());
   stats_->RecordBatch(static_cast<int>(batch.size()));
   std::shared_ptr<const ServableModel> model = registry_->Active();
 
@@ -88,6 +127,17 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     Pending& request = batch[i];
     const double waited_ms = request.enqueued.ElapsedMillis();
+    queue_wait_ms->Observe(waited_ms);
+    if (obs::TracingEnabled()) {
+      // Reconstruct the wait as a completed span: it started at enqueue
+      // time, which predates this scope.
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Instance();
+      const uint64_t wait_us = static_cast<uint64_t>(waited_ms * 1e3);
+      const uint64_t now_us = recorder.NowMicros();
+      recorder.Emit("serve/queue_wait",
+                    now_us > wait_us ? now_us - wait_us : 0, wait_us,
+                    request.node_id);
+    }
     if (request.deadline_ms > 0.0 && waited_ms > request.deadline_ms) {
       stats_->RecordDeadlineViolation();
       QueryResult result;

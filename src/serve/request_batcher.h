@@ -2,12 +2,16 @@
 //
 // Single-node queries are enqueued with a per-request deadline; the batcher
 // packs them into micro-batches (cut when max_batch_size requests are
-// pending, or on Flush()) and drains each batch as one task on its worker
-// pool (util/thread_pool.h). Admission control caps the number of pending
-// requests: beyond queue_limit, Enqueue fails fast with ResourceExhausted
-// instead of letting the queue grow without bound. A request whose deadline
-// has already passed when its batch executes is answered with
-// DeadlineExceeded and counted in ServeStats.
+// pending, when the oldest pending request has waited max_queue_delay_ms,
+// or on Flush()) and drains each batch as one task on its worker pool
+// (util/thread_pool.h). The delay-based cut runs on a background flusher
+// thread so a partial batch under low-QPS traffic is submitted within the
+// configured bound instead of sitting in the queue until an explicit
+// Flush(). Admission control caps the number of pending requests: beyond
+// queue_limit, Enqueue fails fast with ResourceExhausted instead of letting
+// the queue grow without bound. A request whose deadline has already passed
+// when its batch executes is answered with DeadlineExceeded and counted in
+// ServeStats.
 //
 // Determinism: every answered probability vector is a pure function of the
 // cached propagation product and the model head, one output row per query —
@@ -16,9 +20,11 @@
 #ifndef AUTOHENS_SERVE_REQUEST_BATCHER_H_
 #define AUTOHENS_SERVE_REQUEST_BATCHER_H_
 
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "serve/inference_engine.h"
@@ -34,6 +40,10 @@ struct BatcherOptions {
   int queue_limit = 1024;       // pending requests beyond this are rejected
   double deadline_ms = 100.0;   // default per-request deadline; <= 0 = none
   int num_threads = 1;          // workers draining batches
+  // A partial batch is submitted once its oldest request has waited this
+  // long, so low-QPS traffic is answered within the bound without Flush().
+  // <= 0 disables the background flusher (cut on max_batch_size only).
+  double max_queue_delay_ms = 10.0;
 };
 
 // Outcome of one query. `probs` has num_classes entries when status is OK.
@@ -82,14 +92,21 @@ class RequestBatcher {
 
   void ExecuteBatch(std::vector<Pending> batch);
 
+  // Background thread: submits the pending partial batch once its oldest
+  // request has waited options_.max_queue_delay_ms.
+  void FlusherLoop();
+
   InferenceEngine* const engine_;
   const ModelRegistry* const registry_;
   const BatcherOptions options_;
   ServeStats* const stats_;
   ThreadPool pool_;
   std::mutex mu_;
+  std::condition_variable flusher_cv_;
+  bool stop_flusher_ = false;
   std::vector<Pending> pending_;
   int in_queue_ = 0;  // pending + cut-but-not-yet-executed requests
+  std::thread flusher_;
 };
 
 }  // namespace ahg::serve

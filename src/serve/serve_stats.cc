@@ -26,7 +26,40 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+// Upper edges for the batch-size metrics histogram, matching the power-of-
+// two snapshot buckets (1, 2, 4, ..., 128; larger batches overflow).
+std::vector<double> BatchSizeBounds() {
+  std::vector<double> bounds;
+  for (int b = 0; b < kBatchHistogramBuckets - 1; ++b) {
+    bounds.push_back(static_cast<double>(1 << b));
+  }
+  return bounds;
+}
+
 }  // namespace
+
+ServeStats::ServeStats()
+    : reservoir_rng_(0x5e1ec7edULL),
+      m_completed_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.completed")),
+      m_deadline_violations_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.deadline_violations")),
+      m_rejected_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.rejected")),
+      m_failed_(obs::MetricsRegistry::Global().GetCounter("serve.failed")),
+      m_cache_hits_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.cache_hits")),
+      m_cache_misses_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.cache_misses")),
+      m_batches_(obs::MetricsRegistry::Global().GetCounter("serve.batches")),
+      m_cache_bytes_(obs::MetricsRegistry::Global().GetGauge(
+          "serve.cache_bytes")),
+      m_latency_ms_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.latency_ms", obs::DefaultLatencyBucketsMs())),
+      m_batch_size_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.batch_size", BatchSizeBounds())) {
+  latency_reservoir_.reserve(kLatencyReservoirSize);
+}
 
 std::string ServeStatsSnapshot::BucketLabel(int bucket) {
   if (bucket == 0) return "1";
@@ -39,43 +72,64 @@ std::string ServeStatsSnapshot::BucketLabel(int bucket) {
 }
 
 void ServeStats::RecordCompleted(double latency_ms) {
+  m_completed_->Increment();
+  m_latency_ms_->Observe(latency_ms);
   std::lock_guard<std::mutex> lock(mu_);
   ++completed_;
-  latencies_ms_.push_back(latency_ms);
+  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+  // Vitter's algorithm R: the i-th observation (1-based) replaces a random
+  // slot with probability capacity / i once the reservoir is full, keeping
+  // a uniform sample of everything seen since Reset().
+  if (static_cast<int>(latency_reservoir_.size()) < kLatencyReservoirSize) {
+    latency_reservoir_.push_back(latency_ms);
+  } else {
+    const int64_t slot = reservoir_rng_.UniformInt(completed_);
+    if (slot < kLatencyReservoirSize) {
+      latency_reservoir_[static_cast<size_t>(slot)] = latency_ms;
+    }
+  }
 }
 
 void ServeStats::RecordDeadlineViolation() {
+  m_deadline_violations_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++deadline_violations_;
 }
 
 void ServeStats::RecordRejected() {
+  m_rejected_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++rejected_;
 }
 
 void ServeStats::RecordFailed() {
+  m_failed_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++failed_;
 }
 
 void ServeStats::RecordCacheHit() {
+  m_cache_hits_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++cache_hits_;
 }
 
 void ServeStats::RecordCacheMiss() {
+  m_cache_misses_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++cache_misses_;
 }
 
 void ServeStats::RecordBatch(int batch_size) {
+  m_batches_->Increment();
+  m_batch_size_->Observe(static_cast<double>(batch_size));
   std::lock_guard<std::mutex> lock(mu_);
   ++batches_;
   ++batch_size_histogram_[BucketIndex(batch_size)];
 }
 
 void ServeStats::SetCacheBytes(int64_t bytes) {
+  m_cache_bytes_->Set(static_cast<double>(bytes));
   std::lock_guard<std::mutex> lock(mu_);
   cache_bytes_ = bytes;
 }
@@ -91,15 +145,18 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
   snap.cache_misses = cache_misses_;
   snap.cache_bytes = cache_bytes_;
   snap.batches = batches_;
+  snap.latency_samples = static_cast<int64_t>(latency_reservoir_.size());
   snap.elapsed_seconds = clock_.ElapsedSeconds();
   if (snap.elapsed_seconds > 0.0) {
     snap.qps = static_cast<double>(completed_) / snap.elapsed_seconds;
   }
-  std::vector<double> sorted = latencies_ms_;
+  // At most kLatencyReservoirSize samples: O(reservoir) regardless of how
+  // many requests completed.
+  std::vector<double> sorted = latency_reservoir_;
   std::sort(sorted.begin(), sorted.end());
   snap.p50_latency_ms = Percentile(sorted, 0.50);
   snap.p99_latency_ms = Percentile(sorted, 0.99);
-  snap.max_latency_ms = sorted.empty() ? 0.0 : sorted.back();
+  snap.max_latency_ms = max_latency_ms_;
   for (int b = 0; b < kBatchHistogramBuckets; ++b) {
     snap.batch_size_histogram[b] = batch_size_histogram_[b];
   }
@@ -110,7 +167,8 @@ void ServeStats::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   completed_ = deadline_violations_ = rejected_ = failed_ = 0;
   cache_hits_ = cache_misses_ = cache_bytes_ = batches_ = 0;
-  latencies_ms_.clear();
+  max_latency_ms_ = 0.0;
+  latency_reservoir_.clear();
   for (int64_t& count : batch_size_histogram_) count = 0;
   clock_.Reset();
 }
@@ -133,6 +191,8 @@ std::string FormatStatsTable(const ServeStatsSnapshot& snap) {
   row("p50_latency_ms", FormatFloat(snap.p50_latency_ms, 3));
   row("p99_latency_ms", FormatFloat(snap.p99_latency_ms, 3));
   row("max_latency_ms", FormatFloat(snap.max_latency_ms, 3));
+  row("latency_samples",
+      StrFormat("%lld", static_cast<long long>(snap.latency_samples)));
   row("cache_hits", StrFormat("%lld", static_cast<long long>(snap.cache_hits)));
   row("cache_misses",
       StrFormat("%lld", static_cast<long long>(snap.cache_misses)));

@@ -1,8 +1,18 @@
 // Thread-safe counter block for the serving subsystem: request outcomes,
-// latency percentiles (p50/p99 over per-request stopwatch samples), cache
-// hit/miss counts, and a power-of-two batch-size histogram. One ServeStats
-// is shared by the InferenceEngine (cache events) and the RequestBatcher
-// (request lifecycle); Snapshot() freezes everything for printing.
+// latency percentiles, cache hit/miss counts, and a power-of-two batch-size
+// histogram. One ServeStats is shared by the InferenceEngine (cache events)
+// and the RequestBatcher (request lifecycle); Snapshot() freezes everything
+// for printing.
+//
+// Latencies are kept as a bounded reservoir sample (Vitter's algorithm R,
+// deterministic RNG) plus a running max, so memory stays O(reservoir) under
+// sustained traffic and Snapshot() sorts at most kLatencyReservoirSize
+// samples no matter how many requests completed. Percentiles are exact
+// until the reservoir fills and an unbiased estimate after.
+//
+// Every Record* call also feeds the process-wide obs::MetricsRegistry
+// ("serve.completed", "serve.latency_ms", ...), so the generic metrics
+// export carries the same fields this snapshot does.
 #ifndef AUTOHENS_SERVE_SERVE_STATS_H_
 #define AUTOHENS_SERVE_SERVE_STATS_H_
 
@@ -11,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace ahg::serve {
@@ -27,11 +39,12 @@ struct ServeStatsSnapshot {
   int64_t cache_misses = 0;
   int64_t cache_bytes = 0;      // bytes currently pinned by the cache
   int64_t batches = 0;          // micro-batches executed
+  int64_t latency_samples = 0;  // retained reservoir samples (<= capacity)
   double elapsed_seconds = 0.0;  // since construction / Reset()
   double qps = 0.0;              // completed / elapsed
-  double p50_latency_ms = 0.0;   // over completed requests
+  double p50_latency_ms = 0.0;   // over the latency reservoir
   double p99_latency_ms = 0.0;
-  double max_latency_ms = 0.0;
+  double max_latency_ms = 0.0;   // running max over ALL completed requests
   int64_t batch_size_histogram[kBatchHistogramBuckets] = {};
 
   int64_t total() const {
@@ -43,7 +56,12 @@ struct ServeStatsSnapshot {
 
 class ServeStats {
  public:
-  ServeStats() = default;
+  // Latency samples retained for percentile estimation; Snapshot() cost is
+  // O(kLatencyReservoirSize log kLatencyReservoirSize), independent of
+  // traffic volume.
+  static constexpr int kLatencyReservoirSize = 1024;
+
+  ServeStats();
   ServeStats(const ServeStats&) = delete;
   ServeStats& operator=(const ServeStats&) = delete;
 
@@ -59,7 +77,8 @@ class ServeStats {
 
   ServeStatsSnapshot Snapshot() const;
 
-  // Clears all counters and restarts the qps clock.
+  // Clears all counters and restarts the qps clock. (The process-wide
+  // metrics registry is cumulative and is not reset.)
   void Reset();
 
  private:
@@ -73,8 +92,22 @@ class ServeStats {
   int64_t cache_misses_ = 0;
   int64_t cache_bytes_ = 0;
   int64_t batches_ = 0;
-  std::vector<double> latencies_ms_;
+  double max_latency_ms_ = 0.0;
+  Rng reservoir_rng_;
+  std::vector<double> latency_reservoir_;  // size <= kLatencyReservoirSize
   int64_t batch_size_histogram_[kBatchHistogramBuckets] = {};
+
+  // Mirrors into the process-wide MetricsRegistry (stable handles).
+  obs::Counter* const m_completed_;
+  obs::Counter* const m_deadline_violations_;
+  obs::Counter* const m_rejected_;
+  obs::Counter* const m_failed_;
+  obs::Counter* const m_cache_hits_;
+  obs::Counter* const m_cache_misses_;
+  obs::Counter* const m_batches_;
+  obs::Gauge* const m_cache_bytes_;
+  obs::Histogram* const m_latency_ms_;
+  obs::Histogram* const m_batch_size_;
 };
 
 // Renders the snapshot as an aligned two-column table (field, value) plus

@@ -4,6 +4,8 @@
 #include "metrics/metrics.h"
 #include "nn/linear.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -13,6 +15,7 @@ NodeTrainResult TrainSingleNodeModel(const ModelConfig& model_config,
                                      const Graph& graph,
                                      const DataSplit& split,
                                      const TrainConfig& train_config) {
+  AHG_TRACE_SPAN("train/node_model");
   Stopwatch watch;
   // Apply the per-config kernel-thread override for the duration of this
   // training run. Skipped inside a parallel region (proxy evaluation trains
@@ -47,7 +50,11 @@ NodeTrainResult TrainSingleNodeModel(const ModelConfig& model_config,
 
   NodeTrainResult result;
   int epochs_since_best = 0;
+  static obs::Counter* epochs_counter =
+      obs::MetricsRegistry::Global().GetCounter("train.epochs");
   for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    AHG_TRACE_SPAN_ARG("train/epoch", epoch);
+    epochs_counter->Increment();
     // Train step.
     model->params()->ZeroGrad();
     Var loss =

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "tensor/alloc_tracker.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -138,6 +139,8 @@ double Matrix::SquaredNorm() const {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   AHG_CHECK_EQ(a.cols(), b.rows());
+  AHG_TRACE_SPAN_ARG("tensor/matmul",
+                     int64_t{a.rows()} * a.cols() * b.cols());
   Matrix c(a.rows(), b.cols());
   // Row-parallel: each output row is owned by one worker and accumulated in
   // the same i-k-j order (streaming rows of b) as the sequential kernel, so
@@ -160,6 +163,8 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   AHG_CHECK_EQ(a.rows(), b.rows());
+  AHG_TRACE_SPAN_ARG("tensor/matmul_ta",
+                     int64_t{a.rows()} * a.cols() * b.cols());
   Matrix c(a.cols(), b.cols());
   // Every output entry sums over all of a's rows, so rows of c cannot be
   // handed to one worker each without scattering. Instead partition the
@@ -202,6 +207,8 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   AHG_CHECK_EQ(a.cols(), b.cols());
+  AHG_TRACE_SPAN_ARG("tensor/matmul_tb",
+                     int64_t{a.rows()} * a.cols() * b.rows());
   Matrix c(a.rows(), b.rows());
   const int64_t work_per_row = int64_t{a.cols()} * b.rows();
   ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
@@ -253,6 +260,7 @@ Matrix Scale(const Matrix& a, double alpha) {
 }
 
 Matrix RowSoftmax(const Matrix& a) {
+  AHG_TRACE_SPAN_ARG("tensor/row_softmax", int64_t{a.rows()} * a.cols());
   Matrix out(a.rows(), a.cols());
   // Row-owned, so parallel execution is bitwise identical to sequential.
   ParallelForChunked(a.rows(), 4 * a.cols(), [&](int64_t begin, int64_t end) {

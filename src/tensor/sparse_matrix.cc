@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ahg {
@@ -71,6 +72,7 @@ StatusOr<SparseMatrix> SparseMatrix::FromCooChecked(
 
 Matrix SparseMatrix::Spmm(const Matrix& x) const {
   AHG_CHECK_EQ(x.rows(), cols_);
+  AHG_TRACE_SPAN_ARG("tensor/spmm", nnz() * x.cols());
   Matrix y(rows_, x.cols());
   // Per-row cost estimate for the min-grain threshold: average nnz times
   // the dense width.

@@ -1,0 +1,246 @@
+// The observability layer: TraceSpan nesting / thread attribution / ring
+// overflow semantics, chrome://tracing JSON shape, histogram bucket edges,
+// registry exports, and the contract that instrumentation enabled vs
+// disabled does not change computed results bitwise. The trace and metrics
+// record paths also run under TSan in CI.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "nn/linear.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/inference_engine.h"
+
+namespace ahg::obs {
+namespace {
+
+// Each test starts from a clean, disabled recorder and leaves it that way;
+// the recorder and enabled flag are process-global.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Instance().Disable();
+    TraceRecorder::Instance().Drain();
+  }
+  void TearDown() override {
+    TraceRecorder::Instance().Disable();
+    TraceRecorder::Instance().Drain();
+  }
+};
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledSpansEmitNothing) {
+  {
+    AHG_TRACE_SPAN("off/outer");
+    AHG_TRACE_SPAN_ARG("off/inner", 42);
+  }
+  TraceRecorder::Instance().Emit("off/manual", 0, 1);  // Emit is unguarded
+  std::vector<TraceEvent> events = TraceRecorder::Instance().Drain();
+  EXPECT_EQ(FindEvent(events, "off/outer"), nullptr);
+  EXPECT_EQ(FindEvent(events, "off/inner"), nullptr);
+  // Only the explicit Emit (which callers themselves gate on
+  // TracingEnabled()) landed.
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST_F(TraceTest, NestedSpansAndThreadAttribution) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Enable();
+  {
+    AHG_TRACE_SPAN("test/outer");
+    {
+      AHG_TRACE_SPAN_ARG("test/inner", 7);
+    }
+  }
+  std::thread worker([] { AHG_TRACE_SPAN("test/worker"); });
+  worker.join();
+  std::vector<TraceEvent> events = recorder.Drain();
+
+  const TraceEvent* outer = FindEvent(events, "test/outer");
+  const TraceEvent* inner = FindEvent(events, "test/inner");
+  const TraceEvent* from_worker = FindEvent(events, "test/worker");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(from_worker, nullptr);
+
+  // The inner span nests inside the outer one on the timeline.
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us, outer->start_us + outer->dur_us);
+  EXPECT_EQ(inner->arg, 7);
+  EXPECT_EQ(outer->arg, -1);
+
+  // Same thread -> same dense tid; the worker gets a different one, and its
+  // events survive the thread's exit (the recorder keeps buffers alive).
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_NE(from_worker->tid, outer->tid);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Enable();
+  const size_t capacity = TraceRecorder::kThreadBufferCapacity;
+  const size_t extra = 100;
+  for (size_t i = 0; i < capacity + extra; ++i) {
+    recorder.Emit("overflow/event", i, 1, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(recorder.dropped(), static_cast<int64_t>(extra));
+  std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), capacity);
+  // Oldest-first, and the survivors are the newest `capacity` events.
+  EXPECT_EQ(events.front().arg, static_cast<int64_t>(extra));
+  EXPECT_EQ(events.back().arg, static_cast<int64_t>(capacity + extra - 1));
+  // Drain resets the dropped count.
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Enable();
+  {
+    AHG_TRACE_SPAN_ARG("json/span", 13);
+  }
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.find_last_not_of(" \n"), json.rfind(']'));
+  EXPECT_NE(json.find("\"name\":\"json/span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":13}"), std::string::npos);
+  // ChromeTraceJson drains: a second export holds no events.
+  EXPECT_EQ(recorder.ChromeTraceJson().find("\"name\""), std::string::npos);
+}
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42);
+  Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -1.0);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreLessOrEqual) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  histogram.Observe(1.0);  // == bound -> first bucket
+  histogram.Observe(1.5);
+  histogram.Observe(2.0);
+  histogram.Observe(5.0);
+  histogram.Observe(5.1);  // above last bound -> +inf bucket
+  std::vector<int64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1);  // (-inf, 1]
+  EXPECT_EQ(counts[1], 2);  // (1, 2]
+  EXPECT_EQ(counts[2], 1);  // (2, 5]
+  EXPECT_EQ(counts[3], 1);  // (5, +inf)
+  EXPECT_EQ(histogram.TotalCount(), 5);
+  EXPECT_NEAR(histogram.Sum(), 1.0 + 1.5 + 2.0 + 5.0 + 5.1, 1e-12);
+}
+
+TEST(MetricsTest, RegistryReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("x.hist", {1.0, 2.0});
+  // Bounds are fixed by first registration; later bounds are ignored.
+  Histogram* h2 = registry.GetHistogram("x.hist", {99.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsTest, ExportTsvAndText) {
+  MetricsRegistry registry;
+  registry.GetCounter("demo.requests")->Increment(3);
+  registry.GetGauge("demo.bytes")->Set(128.0);
+  Histogram* h = registry.GetHistogram("demo.lat_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(7.0);
+  h->Observe(100.0);
+
+  const std::string tsv = registry.ExportTsv();
+  EXPECT_NE(tsv.find("demo.requests\tcounter\t3"), std::string::npos);
+  EXPECT_NE(tsv.find("demo.bytes\tgauge\t"), std::string::npos);
+  EXPECT_NE(tsv.find("demo.lat_ms{le=1}\thistogram\t1"), std::string::npos);
+  EXPECT_NE(tsv.find("demo.lat_ms{le=10}\thistogram\t1"), std::string::npos);
+  EXPECT_NE(tsv.find("demo.lat_ms{le=+inf}\thistogram\t1"),
+            std::string::npos);
+  EXPECT_NE(tsv.find("demo.lat_ms_count\thistogram\t3"), std::string::npos);
+  EXPECT_NE(tsv.find("demo.lat_ms_sum\thistogram\t"), std::string::npos);
+
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("demo.requests"), std::string::npos);
+  EXPECT_NE(text.find("demo.lat_ms"), std::string::npos);
+}
+
+// Serving helper mirroring serve_test: an untrained-but-servable model.
+serve::ServableModel MakeServable(const Graph& graph) {
+  serve::ServableModel model;
+  model.version = 1;
+  model.num_classes = graph.num_classes();
+  model.config.family = ModelFamily::kGcn;
+  model.config.in_dim = graph.feature_dim();
+  model.config.hidden_dim = 8;
+  model.config.num_layers = 2;
+  model.config.seed = 17;
+  std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
+  Rng head_rng(model.config.seed ^ 0x5ca1ab1eULL);
+  Linear head(zoo->params(), model.config.hidden_dim, model.num_classes,
+              /*bias=*/true, &head_rng);
+  model.params = zoo->params()->Snapshot();
+  return model;
+}
+
+// The zero-interference contract: running the full serving path with tracing
+// enabled produces bitwise-identical outputs to running it disabled, and the
+// enabled run actually recorded the kernel + serve spans.
+TEST_F(TraceTest, InstrumentationDoesNotChangeResults) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 48;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 6;
+  cfg.avg_degree = 3.0;
+  cfg.seed = 7;
+  Graph graph = GenerateSbmGraph(cfg);
+  serve::ServableModel model = MakeServable(graph);
+
+  serve::InferenceEngine cold(&graph, serve::EngineOptions{});
+  auto disabled = cold.PredictAll(model);
+  ASSERT_TRUE(disabled.ok());
+
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Enable();
+  serve::InferenceEngine traced(&graph, serve::EngineOptions{});
+  auto enabled = traced.PredictAll(model);
+  recorder.Disable();
+  ASSERT_TRUE(enabled.ok());
+
+  ASSERT_EQ(disabled.value().rows(), enabled.value().rows());
+  ASSERT_EQ(disabled.value().cols(), enabled.value().cols());
+  for (int r = 0; r < disabled.value().rows(); ++r) {
+    for (int c = 0; c < disabled.value().cols(); ++c) {
+      EXPECT_EQ(disabled.value()(r, c), enabled.value()(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+  std::vector<TraceEvent> events = recorder.Drain();
+  EXPECT_NE(FindEvent(events, "tensor/spmm"), nullptr);
+  EXPECT_NE(FindEvent(events, "serve/cache_compute"), nullptr);
+}
+
+}  // namespace
+}  // namespace ahg::obs

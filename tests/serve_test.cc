@@ -4,11 +4,13 @@
 // deadline / admission-control / determinism contracts. The batcher and
 // cache tests also run under TSan in CI.
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -130,6 +132,61 @@ TEST(PropagationCacheTest, ConcurrentColdStartComputesOnce) {
   }
   EXPECT_EQ(cache.misses(), 1);
   EXPECT_EQ(cache.hits(), kThreads - 1);
+}
+
+// Regression test: a compute() that throws used to leave an unfulfilled
+// promise in the map — every later caller of the same key hung or got a
+// broken_promise, permanently poisoning the key. Now the owner erases the
+// in-flight entry, forwards the exception to registered waiters, and the
+// next call recomputes cleanly.
+TEST(PropagationCacheTest, ThrowingComputeDoesNotPoisonKey) {
+  PropagationCache cache(/*byte_budget=*/0);
+  std::atomic<int> computes{0};
+  std::atomic<int> exceptions{0};
+  std::promise<void> release_owner;
+  std::shared_future<void> go = release_owner.get_future().share();
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    try {
+      cache.GetOrCompute("k", [&]() -> Matrix {
+        ++computes;
+        go.wait();  // hold the in-flight entry until all waiters registered
+        throw std::runtime_error("propagation failed");
+      });
+    } catch (const std::runtime_error&) {
+      ++exceptions;
+    }
+  });
+  while (cache.misses() < 1) std::this_thread::yield();
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      try {
+        cache.GetOrCompute("k", [&]() -> Matrix {
+          ++computes;
+          return Matrix::Constant(2, 2, 1.0);
+        });
+      } catch (const std::runtime_error&) {
+        ++exceptions;
+      }
+    });
+  }
+  // All waiters share the owner's future before the failure lands.
+  while (cache.hits() < kWaiters) std::this_thread::yield();
+  release_owner.set_value();
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(exceptions.load(), 1 + kWaiters);
+  EXPECT_EQ(cache.num_entries(), 0);
+  EXPECT_EQ(cache.current_bytes(), 0);
+  // The key recovers: the next call recomputes and caches normally.
+  auto value = cache.GetOrCompute("k", [&] {
+    ++computes;
+    return Matrix::Constant(2, 2, 5.0);
+  });
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_DOUBLE_EQ((*value)(0, 0), 5.0);
+  EXPECT_EQ(cache.num_entries(), 1);
 }
 
 TEST(PropagationCacheTest, InvalidateDropsEntry) {
@@ -429,6 +486,28 @@ TEST(RequestBatcherTest, ExpiredDeadlineIsCountedAndReported) {
   EXPECT_EQ(stats.Snapshot().completed, 0);
 }
 
+// Regression test: a batch smaller than max_batch_size used to sit in the
+// queue until an explicit Flush()/Drain() — a lone request never completed.
+// The background flusher now bounds queue residence by max_queue_delay_ms.
+TEST(RequestBatcherTest, PartialBatchFlushedWithinQueueDelay) {
+  BatcherFixture fx("serve_batcher_autoflush");
+  ServeStats stats;
+  InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.max_batch_size = 64;  // a lone request never fills a batch
+  options.max_queue_delay_ms = 25.0;
+  options.deadline_ms = 60000.0;
+  RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+  std::future<QueryResult> future = batcher.Enqueue(3);
+  // No Flush()/Drain(): only the flusher can complete this. The wait bound
+  // is generous for slow CI; the point is that it completes at all.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  QueryResult result = future.get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(stats.Snapshot().completed, 1);
+}
+
 TEST(RequestBatcherTest, QueueLimitRejectsOverload) {
   BatcherFixture fx("serve_batcher_overload");
   ServeStats stats;
@@ -437,6 +516,7 @@ TEST(RequestBatcherTest, QueueLimitRejectsOverload) {
   options.max_batch_size = 1000;  // nothing drains until Flush
   options.queue_limit = 8;
   options.deadline_ms = 60000.0;
+  options.max_queue_delay_ms = 0.0;  // no flusher: admission is deterministic
   RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
   std::vector<std::future<QueryResult>> futures;
   for (int i = 0; i < 20; ++i) {
@@ -493,6 +573,39 @@ TEST(ServeStatsTest, BucketLabelsAndReset) {
   EXPECT_FALSE(FormatStatsTable(snap).empty());
   stats.Reset();
   EXPECT_EQ(stats.Snapshot().total(), 0);
+}
+
+// Regression test: latencies used to accumulate in an unbounded vector that
+// Snapshot() copied and sorted under the stats lock — O(completed) memory
+// and O(n log n) snapshot cost under sustained traffic. Now a bounded
+// reservoir (deterministic RNG) plus a running max keep both O(reservoir).
+TEST(ServeStatsTest, LatencyReservoirIsBoundedAndDeterministic) {
+  ServeStats stats;
+  constexpr int kRequests = 100000;
+  for (int i = 0; i < kRequests; ++i) {
+    stats.RecordCompleted(static_cast<double>(i % 997));
+  }
+  stats.RecordCompleted(5000.0);
+  ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.completed, kRequests + 1);
+  EXPECT_LE(snap.latency_samples, ServeStats::kLatencyReservoirSize);
+  EXPECT_GT(snap.latency_samples, 0);
+  // The max is tracked outside the reservoir, so it is exact even when the
+  // sample itself was not retained.
+  EXPECT_DOUBLE_EQ(snap.max_latency_ms, 5000.0);
+  EXPECT_GE(snap.p99_latency_ms, snap.p50_latency_ms);
+  EXPECT_LE(snap.p99_latency_ms, snap.max_latency_ms);
+  // Reservoir replacement uses a deterministic seeded RNG: two instances fed
+  // the same stream report identical percentiles.
+  ServeStats other;
+  for (int i = 0; i < kRequests; ++i) {
+    other.RecordCompleted(static_cast<double>(i % 997));
+  }
+  other.RecordCompleted(5000.0);
+  ServeStatsSnapshot snap2 = other.Snapshot();
+  EXPECT_EQ(snap.p50_latency_ms, snap2.p50_latency_ms);
+  EXPECT_EQ(snap.p99_latency_ms, snap2.p99_latency_ms);
+  EXPECT_EQ(snap.latency_samples, snap2.latency_samples);
 }
 
 }  // namespace
