@@ -1,0 +1,128 @@
+#include "dyn/delta_csr.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace ahg::dyn {
+
+namespace {
+
+// The one row kernel every DeltaCsr SpMM variant uses: accumulate row
+// entries in ascending column order, dense columns innermost — the same
+// order as SparseMatrix::Spmm, so products agree bitwise row by row.
+inline void AccumulateRow(const DeltaCsr::RowRef& row, const Matrix& x,
+                          double* yrow) {
+  for (int64_t e = 0; e < row.nnz; ++e) {
+    const double v = row.vals[e];
+    const double* xrow = x.Row(row.cols[e]);
+    for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+  }
+}
+
+}  // namespace
+
+DeltaCsr::DeltaCsr(std::shared_ptr<const SparseMatrix> base)
+    : base_(std::move(base)) {
+  AHG_CHECK(base_ != nullptr);
+  rows_ = base_->rows();
+  cols_ = base_->cols();
+  nnz_ = base_->nnz();
+}
+
+DeltaCsr::RowRef DeltaCsr::Row(int r) const {
+  AHG_CHECK(r >= 0 && r < rows_);
+  auto it = overrides_.find(r);
+  if (it != overrides_.end()) {
+    const RowStore& store = *it->second;
+    return {store.cols.data(), store.vals.data(),
+            static_cast<int64_t>(store.cols.size())};
+  }
+  if (base_ != nullptr && r < base_->rows()) {
+    const int64_t begin = base_->row_ptr()[r];
+    const int64_t end = base_->row_ptr()[r + 1];
+    return {base_->col_idx().data() + begin, base_->values().data() + begin,
+            end - begin};
+  }
+  return {};  // grown row, never overridden: empty
+}
+
+void DeltaCsr::OverrideRow(int r, std::vector<int> cols,
+                           std::vector<double> vals) {
+  AHG_CHECK(r >= 0 && r < rows_);
+  AHG_CHECK_EQ(cols.size(), vals.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    AHG_CHECK(cols[i] >= 0 && cols[i] < cols_);
+    if (i > 0) AHG_CHECK_LT(cols[i - 1], cols[i]);  // ascending, no dups
+  }
+  nnz_ -= Row(r).nnz;
+  nnz_ += static_cast<int64_t>(cols.size());
+  auto store = std::make_shared<RowStore>();
+  store->cols = std::move(cols);
+  store->vals = std::move(vals);
+  overrides_[r] = std::move(store);
+}
+
+void DeltaCsr::Grow(int rows, int cols) {
+  AHG_CHECK_GE(rows, rows_);
+  AHG_CHECK_GE(cols, cols_);
+  rows_ = rows;
+  cols_ = cols;
+}
+
+Matrix DeltaCsr::Spmm(const Matrix& x) const {
+  AHG_CHECK_EQ(x.rows(), cols_);
+  AHG_TRACE_SPAN_ARG("dyn/delta_spmm", nnz_ * x.cols());
+  Matrix y(rows_, x.cols());
+  const int64_t work_per_row =
+      rows_ > 0 ? std::max<int64_t>(1, nnz_ / rows_) * x.cols() : 1;
+  ParallelForChunked(rows_, work_per_row, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      AccumulateRow(Row(static_cast<int>(r)), x, y.Row(static_cast<int>(r)));
+    }
+  });
+  return y;
+}
+
+Matrix DeltaCsr::SpmmRows(const std::vector<int>& rows,
+                          const Matrix& x) const {
+  AHG_CHECK_EQ(x.rows(), cols_);
+  AHG_TRACE_SPAN_ARG("dyn/delta_spmm_rows",
+                     static_cast<int64_t>(rows.size()) * x.cols());
+  Matrix y(static_cast<int>(rows.size()), x.cols());
+  const int64_t work_per_row =
+      rows_ > 0 ? std::max<int64_t>(1, nnz_ / rows_) * x.cols() : 1;
+  ParallelForChunked(static_cast<int64_t>(rows.size()), work_per_row,
+                     [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int r = rows[i];
+      AHG_CHECK(r >= 0 && r < rows_);
+      AccumulateRow(Row(r), x, y.Row(static_cast<int>(i)));
+    }
+  });
+  return y;
+}
+
+SparseMatrix DeltaCsr::Materialize() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(nnz_);
+  for (int r = 0; r < rows_; ++r) {
+    const RowRef row = Row(r);
+    for (int64_t e = 0; e < row.nnz; ++e) {
+      entries.push_back({r, row.cols[e], row.vals[e]});
+    }
+  }
+  return SparseMatrix::FromCoo(rows_, cols_, std::move(entries));
+}
+
+bool DeltaCsr::MaybeCompact() {
+  if (overlay_fraction() <= kCompactionFraction) return false;
+  AHG_TRACE_SPAN_ARG("dyn/delta_compact", nnz_);
+  base_ = std::make_shared<const SparseMatrix>(Materialize());
+  overrides_.clear();
+  return true;
+}
+
+}  // namespace ahg::dyn

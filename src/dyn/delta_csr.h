@@ -1,0 +1,110 @@
+// Copy-on-write CSR matrix for dynamic-graph snapshots.
+//
+// A DeltaCsr is a base SparseMatrix (shared, immutable) plus a per-row
+// overlay: rows whose adjacency changed since the base was built own a
+// freshly allocated RowStore, every other row reads straight out of the
+// base's CSR arrays. Copying a DeltaCsr copies the overlay map of
+// shared_ptrs — O(#overridden rows) — so producing snapshot version v+1
+// from v reallocates only the rows a mutation batch touched, never the
+// full CSR. AddNode grows rows() past the base; such rows are empty until
+// overridden.
+//
+// SpMM determinism: Spmm and SpmmRows funnel every row through the same
+// AccumulateRow kernel (entries in ascending column order, dense columns
+// innermost), so a row-subset product is bitwise identical to the
+// corresponding rows of the full product, and both match
+// SparseMatrix::Spmm on the materialized matrix. This is the property the
+// incremental-refresh oracle (incremental == cold full recompute) rests
+// on.
+//
+// When the overlay outgrows kCompactionFraction of the rows, Compact()
+// folds everything into a new base — the COW savings are gone at that
+// point and a flat CSR scans faster.
+#ifndef AUTOHENS_DYN_DELTA_CSR_H_
+#define AUTOHENS_DYN_DELTA_CSR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/sparse_matrix.h"
+
+namespace ahg::dyn {
+
+class DeltaCsr {
+ public:
+  // One row's view: `nnz` entries with ascending columns.
+  struct RowRef {
+    const int* cols = nullptr;
+    const double* vals = nullptr;
+    int64_t nnz = 0;
+  };
+
+  // Overlay fraction beyond which Compact() is worth calling (see
+  // MaybeCompact).
+  static constexpr double kCompactionFraction = 0.25;
+
+  DeltaCsr() = default;
+
+  // Wraps an existing CSR as the shared immutable base.
+  explicit DeltaCsr(std::shared_ptr<const SparseMatrix> base);
+
+  // Copying shares the base and every overlay row (shallow, O(#overrides));
+  // the copy can then override rows independently.
+  DeltaCsr(const DeltaCsr&) = default;
+  DeltaCsr& operator=(const DeltaCsr&) = default;
+  DeltaCsr(DeltaCsr&&) = default;
+  DeltaCsr& operator=(DeltaCsr&&) = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return nnz_; }
+
+  // Rows currently backed by overlay storage instead of the base.
+  int overridden_rows() const { return static_cast<int>(overrides_.size()); }
+  double overlay_fraction() const {
+    return rows_ == 0 ? 0.0 : static_cast<double>(overrides_.size()) / rows_;
+  }
+
+  RowRef Row(int r) const;
+
+  // Replaces row r's storage (cols ascending, no duplicates). Only this
+  // row is reallocated; all other rows keep sharing their storage.
+  void OverrideRow(int r, std::vector<int> cols, std::vector<double> vals);
+
+  // Grows the logical shape (AddNode); new rows are empty. Never shrinks.
+  void Grow(int rows, int cols);
+
+  // Y = this * X. Row-parallel with the same per-row accumulation order for
+  // every thread count (see file comment).
+  Matrix Spmm(const Matrix& x) const;
+
+  // Output row i is (this * X) row rows[i]; bitwise identical to those rows
+  // of Spmm(x).
+  Matrix SpmmRows(const std::vector<int>& rows, const Matrix& x) const;
+
+  // Flat CSR copy of the current state.
+  SparseMatrix Materialize() const;
+
+  // Folds base + overlay into a fresh base (clearing the overlay) when the
+  // overlay fraction exceeds kCompactionFraction. Returns true if it
+  // compacted.
+  bool MaybeCompact();
+
+ private:
+  struct RowStore {
+    std::vector<int> cols;
+    std::vector<double> vals;
+  };
+
+  int rows_ = 0;
+  int cols_ = 0;
+  int64_t nnz_ = 0;
+  std::shared_ptr<const SparseMatrix> base_;
+  std::unordered_map<int, std::shared_ptr<const RowStore>> overrides_;
+};
+
+}  // namespace ahg::dyn
+
+#endif  // AUTOHENS_DYN_DELTA_CSR_H_

@@ -1,0 +1,103 @@
+// Incremental propagation refresh: patch cached layer states H^(1..L)
+// after a mutation batch by recomputing only dirty rows.
+//
+// Correctness rests on two facts:
+//  1. Every per-row state of GCN and SGC is a row-local function of the
+//     aggregation input: H^(l) row r = f(sum_c A[r,c] * H^(l-1)[c]), with f
+//     a dense transform (GEMM row + bias + ReLU) that touches no other
+//     row. So row r of H^(l) changes only when A row r changed or some
+//     H^(l-1) row in N(r) changed — the dirty set expands by one hop per
+//     layer: D_l = S_A ∪ N(D_{l-1}), starting from the batch's
+//     adjacency-dirty and feature-dirty rows. Self loops make N(D) ⊇ D, so
+//     the sets are monotone.
+//  2. The row kernels are subset-exact: DeltaCsr::SpmmRows and MatMul
+//     produce rows bitwise identical to the corresponding rows of the full
+//     product (fixed per-row accumulation order, one owner per row). So
+//     patching dirty rows of the cached state leaves a matrix bitwise
+//     identical to a cold full recompute — the oracle ComputeFull() tests
+//     assert with memcmp.
+//
+// Families: kGcn and kSgc, the pure SpMM-plus-row-transform architectures.
+// Supports() gates everything else; callers fall back to a full zoo
+// forward. A refresh also falls back to FullRefresh when the final dirty
+// set exceeds options.full_refresh_fraction of the rows (patching most of
+// the matrix costs more than recomputing it) or when the snapshot is not
+// the direct successor of the cached version.
+#ifndef AUTOHENS_DYN_INCREMENTAL_H_
+#define AUTOHENS_DYN_INCREMENTAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dyn/snapshot.h"
+#include "models/model.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace ahg::dyn {
+
+struct RefreshOptions {
+  // Fall back to a full recompute when |D_L| / num_nodes exceeds this.
+  double full_refresh_fraction = 0.5;
+};
+
+struct RefreshStats {
+  bool incremental = false;     // false = full recompute path ran
+  uint64_t version = 0;         // snapshot version the states now match
+  int64_t rows_refreshed = 0;   // sum of |D_l| over recomputed layers
+  int final_dirty_rows = 0;     // |D_L|: rows of H^(L) that were patched
+  double dirty_fraction = 0.0;  // final_dirty_rows / num_nodes
+};
+
+class IncrementalPropagator {
+ public:
+  // `layer_params` in ParameterStore::Snapshot order, classifier head
+  // excluded — GCN: [W_1, b_1, ..., W_L, b_L]; SGC: [W, b]. Shapes are
+  // checked against `config`.
+  IncrementalPropagator(const ModelConfig& config,
+                        std::vector<Matrix> layer_params,
+                        const RefreshOptions& options = {});
+
+  // True for the families whose layer structure the refresh understands.
+  static bool Supports(const ModelConfig& config);
+
+  // Cold recompute of every cached layer state from `snap`.
+  RefreshStats FullRefresh(const GraphSnapshot& snap);
+
+  // Patches the cached states from `snap.version() - 1` to `snap.version()`
+  // using the batch's dirty sets; falls back to FullRefresh when it cannot
+  // (see file comment). `delta` must describe the step onto `snap`.
+  StatusOr<RefreshStats> Refresh(const GraphSnapshot& snap,
+                                 const BatchDelta& delta);
+
+  // Final hidden states H^(L) for the current version — an immutable copy
+  // published per refresh, safe to hand to concurrent readers and caches.
+  std::shared_ptr<const Matrix> hidden() const { return hidden_; }
+
+  bool has_state() const { return has_state_; }
+  uint64_t version() const { return version_; }
+
+  // Oracle: H^(L) recomputed from scratch through the same kernels, without
+  // touching cached state. Tests memcmp this against the patched states.
+  Matrix ComputeFull(const GraphSnapshot& snap) const;
+
+ private:
+  // All layer states from features `x`; shared by FullRefresh/ComputeFull.
+  std::vector<Matrix> ComputeStates(const GraphSnapshot& snap,
+                                    Matrix x) const;
+
+  ModelConfig config_;
+  std::vector<Matrix> params_;
+  RefreshOptions options_;
+  bool has_state_ = false;
+  uint64_t version_ = 0;
+  // states_[0] = dense features X. GCN: states_[l] = H^(l). SGC:
+  // states_[1] = XW + b, states_[1 + k] = A^k (XW + b).
+  std::vector<Matrix> states_;
+  std::shared_ptr<const Matrix> hidden_;
+};
+
+}  // namespace ahg::dyn
+
+#endif  // AUTOHENS_DYN_INCREMENTAL_H_

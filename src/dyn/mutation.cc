@@ -1,0 +1,102 @@
+#include "dyn/mutation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ahg::dyn {
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kAddEdge:
+      return "AddEdge";
+    case MutationKind::kRemoveEdge:
+      return "RemoveEdge";
+    case MutationKind::kAddNode:
+      return "AddNode";
+    case MutationKind::kUpdateFeatures:
+      return "UpdateFeatures";
+  }
+  return "unknown";
+}
+
+Mutation Mutation::AddEdge(int u, int v, double weight) {
+  Mutation m;
+  m.kind = MutationKind::kAddEdge;
+  m.u = u;
+  m.v = v;
+  m.weight = weight;
+  return m;
+}
+
+Mutation Mutation::RemoveEdge(int u, int v) {
+  Mutation m;
+  m.kind = MutationKind::kRemoveEdge;
+  m.u = u;
+  m.v = v;
+  return m;
+}
+
+Mutation Mutation::AddNode(std::vector<double> features, int label) {
+  Mutation m;
+  m.kind = MutationKind::kAddNode;
+  m.features = std::move(features);
+  m.label = label;
+  return m;
+}
+
+Mutation Mutation::UpdateFeatures(int u, std::vector<double> features) {
+  Mutation m;
+  m.kind = MutationKind::kUpdateFeatures;
+  m.u = u;
+  m.features = std::move(features);
+  return m;
+}
+
+std::string Mutation::ToString() const {
+  switch (kind) {
+    case MutationKind::kAddEdge:
+      return StrFormat("AddEdge(%d, %d, w=%.3f)", u, v, weight);
+    case MutationKind::kRemoveEdge:
+      return StrFormat("RemoveEdge(%d, %d)", u, v);
+    case MutationKind::kAddNode:
+      return StrFormat("AddNode(dim=%d, label=%d)",
+                       static_cast<int>(features.size()), label);
+    case MutationKind::kUpdateFeatures:
+      return StrFormat("UpdateFeatures(%d, dim=%d)", u,
+                       static_cast<int>(features.size()));
+  }
+  return "Mutation(?)";
+}
+
+uint64_t MutationLog::Append(Mutation m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(m));
+  return next_sequence_++;
+}
+
+std::vector<Mutation> MutationLog::Drain(size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t take =
+      max == 0 ? pending_.size() : std::min(max, pending_.size());
+  std::vector<Mutation> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return out;
+}
+
+size_t MutationLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+uint64_t MutationLog::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+}  // namespace ahg::dyn

@@ -1,0 +1,82 @@
+// Streaming graph mutations and the append-only log that batches them.
+//
+// Production graphs are never static: users, items and edges arrive
+// continuously while the serving path answers queries. The dynamic-graph
+// subsystem ingests that stream as explicit Mutation records through a
+// MutationLog; the snapshot layer (snapshot.h) drains the log in batches
+// and applies each batch atomically to produce the next immutable
+// GraphSnapshot version.
+//
+// The log is intentionally dumb: it assigns sequence numbers and preserves
+// arrival order, but performs no graph validation — a mutation can only be
+// judged against the snapshot version it will be applied to, so validation
+// lives in GraphSnapshot::Apply (which rejects the whole batch on the first
+// invalid record, leaving the snapshot untouched).
+#ifndef AUTOHENS_DYN_MUTATION_H_
+#define AUTOHENS_DYN_MUTATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ahg::dyn {
+
+enum class MutationKind {
+  kAddEdge = 0,     // undirected edge {u, v} with weight
+  kRemoveEdge,      // existing undirected edge {u, v}
+  kAddNode,         // appends node id = num_nodes with features (+ label)
+  kUpdateFeatures,  // replaces node u's feature row
+};
+
+const char* MutationKindName(MutationKind kind);
+
+struct Mutation {
+  MutationKind kind = MutationKind::kAddEdge;
+  int u = -1;                    // first endpoint / target node
+  int v = -1;                    // second endpoint (edge mutations only)
+  double weight = 1.0;           // kAddEdge only; must be finite and > 0
+  std::vector<double> features;  // kAddNode / kUpdateFeatures payload
+  int label = -1;                // kAddNode only; -1 = unlabeled
+
+  static Mutation AddEdge(int u, int v, double weight = 1.0);
+  static Mutation RemoveEdge(int u, int v);
+  static Mutation AddNode(std::vector<double> features, int label = -1);
+  static Mutation UpdateFeatures(int u, std::vector<double> features);
+
+  std::string ToString() const;
+};
+
+// Thread-safe append-only mutation queue. Producers Append from any thread;
+// the single mutator thread Drains batches in arrival order.
+class MutationLog {
+ public:
+  MutationLog() = default;
+  MutationLog(const MutationLog&) = delete;
+  MutationLog& operator=(const MutationLog&) = delete;
+
+  // Enqueues `m` and returns its sequence number (0-based, monotonically
+  // increasing across the log's lifetime).
+  uint64_t Append(Mutation m);
+
+  // Removes and returns up to `max` pending mutations in arrival order
+  // (max == 0 drains everything).
+  std::vector<Mutation> Drain(size_t max = 0);
+
+  // Pending (appended but not yet drained) mutation count.
+  size_t pending() const;
+
+  // Sequence number the next Append will receive; equals the total number
+  // of mutations ever appended.
+  uint64_t next_sequence() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Mutation> pending_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace ahg::dyn
+
+#endif  // AUTOHENS_DYN_MUTATION_H_

@@ -1,0 +1,123 @@
+// Streaming serving front-end of the dynamic-graph subsystem.
+//
+// Wires the pieces together: a MutationLog collects streamed edits, a
+// single mutator thread calls ApplyPending() to fold them into the next
+// GraphSnapshot version, an IncrementalPropagator patches the cached
+// H^(1..L) states over the dirty rows, and the resulting (snapshot, hidden)
+// pair is published atomically for readers. Queries never block on a
+// refresh: PredictNodes copies one shared_ptr under a short lock and serves
+// from that immutable pair, so a concurrent publish retargets later
+// queries while in-flight ones finish against the version they started on.
+//
+// PublishTo() bridges into the static serving stack: it materializes the
+// current snapshot as a Graph, SwapGraph()s the InferenceEngine onto it
+// (keyed by the snapshot version) and installs the incrementally refreshed
+// hidden states into the engine's PropagationCache, so the first post-swap
+// query pays a row gather instead of a full forward.
+//
+// Metrics (process-wide registry): dyn.batches, dyn.mutations_applied,
+// dyn.incremental_refreshes, dyn.full_refreshes, dyn.rows_refreshed
+// counters; dyn.refresh_ms and dyn.dirty_fraction histograms.
+#ifndef AUTOHENS_DYN_STREAM_SERVER_H_
+#define AUTOHENS_DYN_STREAM_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dyn/incremental.h"
+#include "dyn/mutation.h"
+#include "dyn/snapshot.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace ahg::dyn {
+
+struct StreamOptions {
+  // Mutations folded into one snapshot step per ApplyPending (0 = all).
+  size_t max_batch_mutations = 0;
+  RefreshOptions refresh;
+};
+
+class StreamingServer {
+ public:
+  // Builds snapshot version 0 from `graph` (undirected, featured, no self
+  // loops — see GraphSnapshot::FromGraph) and runs the cold propagation for
+  // `model`, whose family must pass IncrementalPropagator::Supports and
+  // whose last two params are the classifier head.
+  static StatusOr<std::unique_ptr<StreamingServer>> Create(
+      const Graph& graph, const serve::ServableModel& model,
+      const StreamOptions& options = {});
+
+  StreamingServer(const StreamingServer&) = delete;
+  StreamingServer& operator=(const StreamingServer&) = delete;
+
+  // Enqueues a mutation (any thread); returns its sequence number.
+  uint64_t Submit(Mutation m);
+  size_t pending() const { return log_.pending(); }
+
+  // Drains up to options.max_batch_mutations from the log, applies them as
+  // one atomic batch, refreshes propagation over the dirty rows and
+  // publishes the new (snapshot, hidden) pair. Call from one mutator
+  // thread. A validation failure re-queues nothing and publishes nothing —
+  // the rejected batch is reported and dropped.
+  StatusOr<RefreshStats> ApplyPending();
+
+  // Class probabilities for `nodes` against the latest published state.
+  StatusOr<Matrix> PredictNodes(const std::vector<int>& nodes) const;
+
+  // Latest published immutable state.
+  std::shared_ptr<const GraphSnapshot> snapshot() const;
+  std::shared_ptr<const Matrix> hidden() const;
+  uint64_t version() const;
+
+  // Materializes the current snapshot, swaps `engine` onto it (generation =
+  // snapshot version + 1, since engines start at generation 0 and versions
+  // must strictly increase) and installs the refreshed hidden states. The
+  // materialized graph is owned by this server and kept alive until the
+  // next PublishTo or destruction.
+  Status PublishTo(serve::InferenceEngine* engine);
+
+  const serve::ServableModel& model() const { return model_; }
+
+ private:
+  struct State {
+    std::shared_ptr<const GraphSnapshot> snap;
+    std::shared_ptr<const Matrix> hidden;
+  };
+
+  StreamingServer(const serve::ServableModel& model,
+                  const StreamOptions& options);
+
+  std::shared_ptr<const State> state() const;
+
+  serve::ServableModel model_;
+  StreamOptions options_;
+  MutationLog log_;
+
+  std::mutex apply_mu_;  // serializes mutator-side work
+  std::unique_ptr<IncrementalPropagator> propagator_;  // under apply_mu_
+  std::shared_ptr<const Graph> published_graph_;       // under apply_mu_
+  // Previously published graphs, kept alive for engine batches still
+  // holding their raw pointer (see PublishTo).
+  std::vector<std::shared_ptr<const Graph>> retired_graphs_;
+
+  mutable std::mutex state_mu_;  // guards the published pointer only
+  std::shared_ptr<const State> state_;
+
+  obs::Counter* const m_batches_;
+  obs::Counter* const m_mutations_;
+  obs::Counter* const m_incremental_;
+  obs::Counter* const m_full_;
+  obs::Counter* const m_rows_refreshed_;
+  obs::Histogram* const m_refresh_ms_;
+  obs::Histogram* const m_dirty_fraction_;
+};
+
+}  // namespace ahg::dyn
+
+#endif  // AUTOHENS_DYN_STREAM_SERVER_H_

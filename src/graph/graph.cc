@@ -4,12 +4,57 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace ahg {
+
+namespace {
+
+// Canonical 64-bit key of an edge for duplicate detection: (src, dst) for
+// directed graphs, the sorted pair for undirected ones (both orientations
+// produce the same CSR entries, so {u,v} and {v,u} are the same edge).
+uint64_t EdgeKey(const Edge& e, bool directed) {
+  int a = e.src;
+  int b = e.dst;
+  if (!directed && a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+// Index of the first duplicate edge under EdgeKey, or -1 when all edges are
+// distinct. O(m log m); `keys` is scratch to avoid reallocation.
+int64_t FindDuplicateEdge(const std::vector<Edge>& edges, bool directed) {
+  std::vector<uint64_t> keys;
+  keys.reserve(edges.size());
+  for (const Edge& e : edges) keys.push_back(EdgeKey(e, directed));
+  std::vector<uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup == sorted.end()) return -1;
+  // Report the *second* occurrence in input order for the error message.
+  bool seen_once = false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] != *dup) continue;
+    if (seen_once) return static_cast<int64_t>(i);
+    seen_once = true;
+  }
+  return -1;  // unreachable
+}
+
+}  // namespace
 
 Graph Graph::Create(int num_nodes, std::vector<Edge> edges, bool directed,
                     Matrix features, std::vector<int> labels,
                     int num_classes) {
+  for (const Edge& e : edges) {
+    AHG_CHECK(e.src >= 0 && e.src < num_nodes);
+    AHG_CHECK(e.dst >= 0 && e.dst < num_nodes);
+  }
+  const int64_t dup = FindDuplicateEdge(edges, directed);
+  AHG_CHECK_MSG(dup < 0, "duplicate edge ("
+                             << edges[dup].src << ", " << edges[dup].dst
+                             << ") in edge list; use CreateChecked for "
+                                "untrusted input");
   Graph g;
   g.num_nodes_ = num_nodes;
   g.directed_ = directed;
@@ -19,12 +64,38 @@ Graph Graph::Create(int num_nodes, std::vector<Edge> edges, bool directed,
   if (labels.empty()) labels.assign(num_nodes, -1);
   AHG_CHECK_EQ(static_cast<int>(labels.size()), num_nodes);
   g.labels_ = std::move(labels);
-  for (const Edge& e : g.edges_) {
-    AHG_CHECK(e.src >= 0 && e.src < num_nodes);
-    AHG_CHECK(e.dst >= 0 && e.dst < num_nodes);
-  }
   g.BuildAdjacencyCaches();
   return g;
+}
+
+StatusOr<Graph> Graph::CreateChecked(int num_nodes, std::vector<Edge> edges,
+                                     bool directed, Matrix features,
+                                     std::vector<int> labels,
+                                     int num_classes) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument(
+        StrFormat("negative node count %d", num_nodes));
+  }
+  if (!labels.empty() && static_cast<int>(labels.size()) != num_nodes) {
+    return Status::InvalidArgument(
+        StrFormat("%d labels for %d nodes", static_cast<int>(labels.size()),
+                  num_nodes));
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%d, %d) endpoint outside [0, %d)", e.src, e.dst,
+                    num_nodes));
+    }
+  }
+  const int64_t dup = FindDuplicateEdge(edges, directed);
+  if (dup >= 0) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate edge (%d, %d)%s", edges[dup].src, edges[dup].dst,
+                  directed ? "" : " (undirected: reversed pairs collide)"));
+  }
+  return Create(num_nodes, std::move(edges), directed, std::move(features),
+                std::move(labels), num_classes);
 }
 
 double Graph::AverageDegree() const {

@@ -13,6 +13,7 @@
 
 #include "tensor/matrix.h"
 #include "tensor/sparse_matrix.h"
+#include "util/status.h"
 
 namespace ahg {
 
@@ -43,9 +44,24 @@ class Graph {
   // later (possibly multi-threaded) training never mutates shared state.
   // `features` may be empty; call SynthesizeDegreeFeatures afterwards for
   // featureless datasets (paper dataset E).
+  // Out-of-range endpoints or duplicate edges are programmer error and
+  // abort via AHG_CHECK; use CreateChecked for untrusted input. A duplicate
+  // is a repeated (src, dst) pair — for undirected graphs the reversed pair
+  // counts too, since both orientations land on the same CSR entries and
+  // would silently sum their weights.
   static Graph Create(int num_nodes, std::vector<Edge> edges, bool directed,
                       Matrix features, std::vector<int> labels,
                       int num_classes);
+
+  // Like Create but returns InvalidArgument instead of aborting on an
+  // out-of-range endpoint or a duplicate edge — the entry point for
+  // user-supplied edge lists (IO readers, mutation streams). The dynamic
+  // mutation path depends on this invariant: RemoveEdge is well-defined
+  // only when each edge is stored once.
+  static StatusOr<Graph> CreateChecked(int num_nodes, std::vector<Edge> edges,
+                                       bool directed, Matrix features,
+                                       std::vector<int> labels,
+                                       int num_classes);
 
   int num_nodes() const { return num_nodes_; }
   int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }

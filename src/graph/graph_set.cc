@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -51,15 +52,24 @@ GraphSet GenerateProteinsLike(const ProteinsLikeConfig& config) {
                   static_cast<int>(rng.UniformInt(
                       config.max_nodes - config.min_nodes + 1));
     std::vector<Edge> edges;
+    // Chords and clique motifs can land on an existing pair (the ring, or
+    // each other); keep the first occurrence only so the undirected edge
+    // list stays duplicate-free.
+    std::unordered_set<int64_t> seen;
+    auto add_edge = [&](int u, int v) {
+      const int64_t key = static_cast<int64_t>(std::min(u, v)) * n +
+                          std::max(u, v);
+      if (seen.insert(key).second) edges.push_back({u, v, 1.0});
+    };
     // Ring backbone keeps every graph connected.
-    for (int i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n, 1.0});
+    for (int i = 0; i < n; ++i) add_edge(i, (i + 1) % n);
     if (label == 0) {
       // Sparse: a few random chords.
       const int extra = n / 4;
       for (int e = 0; e < extra; ++e) {
         const int u = static_cast<int>(rng.UniformInt(n));
         const int v = static_cast<int>(rng.UniformInt(n));
-        if (u != v) edges.push_back({u, v, 1.0});
+        if (u != v) add_edge(u, v);
       }
     } else {
       // Dense motifs: several small cliques wired into the ring.
@@ -69,7 +79,7 @@ GraphSet GenerateProteinsLike(const ProteinsLikeConfig& config) {
         std::vector<int> members = rng.SampleWithoutReplacement(n, size);
         for (size_t i = 0; i < members.size(); ++i) {
           for (size_t j = i + 1; j < members.size(); ++j) {
-            edges.push_back({members[i], members[j], 1.0});
+            add_edge(members[i], members[j]);
           }
         }
       }

@@ -213,9 +213,12 @@ StatusOr<AutographDataset> ReadAutographDataset(const std::string& dir) {
     }
   }
 
-  ds.graph = Graph::Create(n, std::move(edges), ds.directed,
+  StatusOr<Graph> graph =
+      Graph::CreateChecked(n, std::move(edges), ds.directed,
                            Matrix::FromRows(feature_rows), std::move(labels),
                            n_class);
+  if (!graph.ok()) return graph.status();
+  ds.graph = std::move(graph).value();
   return ds;
 }
 

@@ -39,6 +39,11 @@ std::vector<double> DefaultLatencyBucketsMs() {
           50,   100, 250,  500, 1000, 2500, 5000, 10000};
 }
 
+std::vector<double> DefaultFractionBuckets() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+          0.1,   0.2,    0.35,  0.5,  0.75,  1.0};
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;

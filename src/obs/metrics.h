@@ -70,6 +70,10 @@ class Histogram {
 // geometric), shared by the serve histograms.
 std::vector<double> DefaultLatencyBucketsMs();
 
+// Bucket edges for ratio-valued observations in [0, 1] (e.g. the dirty-set
+// fraction per dynamic-graph refresh batch).
+std::vector<double> DefaultFractionBuckets();
+
 class MetricsRegistry {
  public:
   // Process-wide registry used by all built-in instrumentation. Tests may

@@ -1,6 +1,7 @@
 #include "serve/inference_engine.h"
 
 #include <cstring>
+#include <mutex>
 
 #include "autodiff/ops.h"
 #include "nn/linear.h"
@@ -8,13 +9,9 @@
 #include "util/string_util.h"
 
 namespace ahg::serve {
-namespace {
 
-// Head used at training time: softmax(H W + b). Applied with the same
-// kernels and accumulation order as nn/Linear + RowSoftmax, so a gathered
-// batch reproduces the training-path rows bitwise (each output row depends
-// only on its own input row).
-Matrix HeadProbs(const Matrix& hidden_rows, const ServableModel& model) {
+Matrix ApplyClassifierHead(const Matrix& hidden_rows,
+                           const ServableModel& model) {
   Matrix logits = MatMul(hidden_rows, model.head_weight());
   const Matrix& bias = model.head_bias();
   for (int r = 0; r < logits.rows(); ++r) {
@@ -23,8 +20,6 @@ Matrix HeadProbs(const Matrix& hidden_rows, const ServableModel& model) {
   }
   return RowSoftmax(logits);
 }
-
-}  // namespace
 
 InferenceEngine::InferenceEngine(const Graph* graph,
                                  const EngineOptions& options,
@@ -35,23 +30,32 @@ InferenceEngine::InferenceEngine(const Graph* graph,
 
 StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
     const ServableModel& model) {
-  if (model.config.in_dim != graph_->feature_dim()) {
+  // One consistent (graph, generation) pair for the whole request; a
+  // concurrent SwapGraph retargets later requests, never this one.
+  const Graph* graph;
+  uint64_t generation;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    graph = graph_;
+    generation = graph_generation_;
+  }
+  if (model.config.in_dim != graph->feature_dim()) {
     return Status::InvalidArgument(
         StrFormat("model consumes %d-dim features, serving graph has %d-dim",
-                  model.config.in_dim, graph_->feature_dim()));
+                  model.config.in_dim, graph->feature_dim()));
   }
-  // Published versions are immutable, so the version number identifies the
-  // propagation product; the engine itself pins the graph.
-  const std::string key = StrFormat("v%d", model.version);
+  // Published versions are immutable and the generation pins the topology,
+  // so (generation, version) identifies the propagation product.
+  const std::string key = PropagationKey(GraphId(generation), model.version);
   bool computed = false;
   std::shared_ptr<const Matrix> hidden =
-      cache_.GetOrCompute(key, [this, &model, &computed] {
+      cache_.GetOrCompute(key, [graph, &model, &computed] {
         computed = true;
         std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
         std::vector<Matrix> weights(model.params.begin(),
                                     model.params.end() - 2);
         zoo->params()->Restore(weights);
-        return zoo->ForwardInference(*graph_, graph_->features());
+        return zoo->ForwardInference(*graph, graph->features());
       });
   if (obs::TracingEnabled()) {
     // Instant-style marker (the lookup itself is sub-microsecond); the
@@ -73,34 +77,96 @@ StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
 
 StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
                                                const std::vector<int>& nodes) {
-  for (int node : nodes) {
-    if (node < 0 || node >= graph_->num_nodes()) {
-      return Status::InvalidArgument(
-          StrFormat("node id %d out of range [0, %d)", node,
-                    graph_->num_nodes()));
-    }
-  }
   AHG_TRACE_SPAN_ARG("serve/predict_nodes",
                      static_cast<int64_t>(nodes.size()));
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
   const Matrix& h = *hidden.value();
+  // Validate against the hidden-state matrix the request resolved, so the
+  // answer is self-consistent even when a swap lands mid-request.
+  for (int node : nodes) {
+    if (node < 0 || node >= h.rows()) {
+      return Status::InvalidArgument(
+          StrFormat("node id %d out of range [0, %d)", node, h.rows()));
+    }
+  }
   Matrix rows(static_cast<int>(nodes.size()), h.cols());
   for (size_t i = 0; i < nodes.size(); ++i) {
     std::memcpy(rows.Row(static_cast<int>(i)), h.Row(nodes[i]),
                 static_cast<size_t>(h.cols()) * sizeof(double));
   }
-  return HeadProbs(rows, model);
+  return ApplyClassifierHead(rows, model);
 }
 
 StatusOr<Matrix> InferenceEngine::PredictAll(const ServableModel& model) {
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
-  return HeadProbs(*hidden.value(), model);
+  return ApplyClassifierHead(*hidden.value(), model);
 }
 
 Status InferenceEngine::Warm(const ServableModel& model) {
   return HiddenStates(model).status();
+}
+
+Status InferenceEngine::SwapGraph(const Graph* graph, uint64_t generation) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("SwapGraph: null graph");
+  }
+  uint64_t retired;
+  {
+    std::unique_lock<std::shared_mutex> lock(graph_mu_);
+    if (generation <= graph_generation_) {
+      return Status::InvalidArgument(
+          StrFormat("SwapGraph: generation %lld not above current %lld",
+                    static_cast<long long>(generation),
+                    static_cast<long long>(graph_generation_)));
+    }
+    retired = graph_generation_;
+    graph_ = graph;
+    graph_generation_ = generation;
+  }
+  if (obs::TracingEnabled()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Instance();
+    recorder.Emit("serve/graph_swap", recorder.NowMicros(), 0,
+                  static_cast<int64_t>(generation));
+  }
+  // Products of the retired topology must never answer a new query;
+  // in-flight requests that already resolved a shared_ptr keep it alive.
+  cache_.InvalidateGraph(GraphId(retired));
+  if (stats_ != nullptr) stats_->SetCacheBytes(cache_.current_bytes());
+  return Status::OK();
+}
+
+Status InferenceEngine::InstallHiddenStates(
+    int version, std::shared_ptr<const Matrix> hidden) {
+  if (hidden == nullptr) {
+    return Status::InvalidArgument("InstallHiddenStates: null hidden states");
+  }
+  const Graph* graph;
+  uint64_t generation;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    graph = graph_;
+    generation = graph_generation_;
+  }
+  if (hidden->rows() != graph->num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("hidden states have %d rows, serving graph has %d nodes",
+                  hidden->rows(), graph->num_nodes()));
+  }
+  cache_.Put(PropagationKey(GraphId(generation), version), std::move(hidden));
+  if (stats_ != nullptr) stats_->SetCacheBytes(cache_.current_bytes());
+  return Status::OK();
+}
+
+uint64_t InferenceEngine::graph_generation() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return graph_generation_;
+}
+
+const Graph& InferenceEngine::graph() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return *graph_;
 }
 
 Matrix InferenceEngine::TrainingPathProbs(const ServableModel& model,

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "graph/graph.h"
@@ -24,6 +25,14 @@
 #include "util/status.h"
 
 namespace ahg::serve {
+
+// Classifier head used at training time: softmax(H W + b), applied with the
+// same kernels and accumulation order as nn/Linear + RowSoftmax, so a
+// gathered batch reproduces the training-path rows bitwise (each output row
+// depends only on its own input row). Shared by the static engine and the
+// dynamic-graph streaming server.
+Matrix ApplyClassifierHead(const Matrix& hidden_rows,
+                           const ServableModel& model);
 
 struct EngineOptions {
   // LRU budget for cached propagation products; <= 0 means unbounded.
@@ -53,8 +62,28 @@ class InferenceEngine {
   // startup) without computing head outputs.
   Status Warm(const ServableModel& model);
 
+  // Atomically retargets the engine at a new serving graph (a materialized
+  // dynamic-graph snapshot) and invalidates every cached product of the old
+  // generation. `generation` must be strictly greater than the current one
+  // and `graph` must outlive the engine. In-flight batches are not blocked:
+  // they finish against the graph + hidden-state shared_ptrs they already
+  // resolved (the caller keeps the old graph alive until they drain), while
+  // every later query keys the cache by the new generation.
+  Status SwapGraph(const Graph* graph, uint64_t generation);
+
+  // Seeds the cache for (current generation, `version`) with hidden states
+  // computed elsewhere — the dynamic path installs its incrementally
+  // patched H^(L) here so the first post-swap query pays a row gather, not
+  // a full forward. `hidden` must be num_nodes x hidden_dim for the current
+  // graph.
+  Status InstallHiddenStates(int version,
+                             std::shared_ptr<const Matrix> hidden);
+
+  // Graph generation used in cache keys (0 until the first SwapGraph).
+  uint64_t graph_generation() const;
+
   const PropagationCache& cache() const { return cache_; }
-  const Graph& graph() const { return *graph_; }
+  const Graph& graph() const;
 
   // Comparator/baseline: rebuilds the autodiff model + head and runs the
   // tape-building eval forward over the whole graph (exactly what training
@@ -64,11 +93,15 @@ class InferenceEngine {
                                   const Graph& graph);
 
  private:
-  // Cached H^(L) for (graph, model.version).
+  // Cached H^(L) for (graph generation, model.version).
   StatusOr<std::shared_ptr<const Matrix>> HiddenStates(
       const ServableModel& model);
 
-  const Graph* const graph_;
+  // Guards the (graph, generation) pair; queries take it shared for the
+  // duration of one pointer read, so a swap never blocks behind a batch.
+  mutable std::shared_mutex graph_mu_;
+  const Graph* graph_;
+  uint64_t graph_generation_ = 0;
   PropagationCache cache_;
   ServeStats* const stats_;
 };

@@ -4,11 +4,24 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace ahg::serve {
 
+std::string PropagationKey(const std::string& graph_id, int model_version) {
+  return graph_id + "/v" + std::to_string(model_version);
+}
+
+std::string GraphId(uint64_t generation) {
+  return StrFormat("g%lld", static_cast<long long>(generation));
+}
+
 PropagationCache::PropagationCache(int64_t byte_budget)
-    : byte_budget_(byte_budget) {}
+    : byte_budget_(byte_budget),
+      m_evictions_(
+          obs::MetricsRegistry::Global().GetCounter("serve.cache_evictions")),
+      m_entries_(
+          obs::MetricsRegistry::Global().GetGauge("serve.cache_entries")) {}
 
 std::shared_ptr<const Matrix> PropagationCache::GetOrCompute(
     const std::string& key, const std::function<Matrix()>& compute) {
@@ -32,6 +45,7 @@ std::shared_ptr<const Matrix> PropagationCache::GetOrCompute(
       entry.owner = &promise;
       future = entry.future;
       entries_.emplace(key, std::move(entry));
+      m_entries_->Set(static_cast<double>(entries_.size()));
     }
   }
   if (owner) {
@@ -48,6 +62,7 @@ std::shared_ptr<const Matrix> PropagationCache::GetOrCompute(
         auto it = entries_.find(key);
         if (it != entries_.end() && it->second.owner == &promise) {
           entries_.erase(it);
+          m_entries_->Set(static_cast<double>(entries_.size()));
         }
       }
       promise.set_exception(std::current_exception());
@@ -87,8 +102,33 @@ void PropagationCache::EvictLocked(const std::string& keep) {
     if (victim == entries_.end()) return;  // nothing evictable
     bytes_ -= victim->second.bytes;
     ++evictions_;
+    m_evictions_->Increment();
     entries_.erase(victim);
+    m_entries_->Set(static_cast<double>(entries_.size()));
   }
+}
+
+void PropagationCache::Put(const std::string& key,
+                           std::shared_ptr<const Matrix> value) {
+  AHG_CHECK(value != nullptr);
+  const int64_t bytes = value->size() * static_cast<int64_t>(sizeof(double));
+  std::promise<std::shared_ptr<const Matrix>> promise;
+  promise.set_value(std::move(value));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  Entry& entry = entries_[key];
+  if (entry.ready) bytes_ -= entry.bytes;
+  entry.future = promise.get_future().share();
+  entry.bytes = bytes;
+  entry.last_used = tick_;
+  entry.ready = true;
+  // A concurrent GetOrCompute owner for this key may still be computing; it
+  // recognizes the replacement through the owner token and discards its
+  // result without double-accounting.
+  entry.owner = nullptr;
+  bytes_ += bytes;
+  m_entries_->Set(static_cast<double>(entries_.size()));
+  EvictLocked(key);
 }
 
 void PropagationCache::Invalidate(const std::string& key) {
@@ -97,12 +137,28 @@ void PropagationCache::Invalidate(const std::string& key) {
   if (it == entries_.end()) return;
   if (it->second.ready) bytes_ -= it->second.bytes;
   entries_.erase(it);
+  m_entries_->Set(static_cast<double>(entries_.size()));
+}
+
+void PropagationCache::InvalidateGraph(const std::string& graph_id) {
+  const std::string prefix = graph_id + "/";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      if (it->second.ready) bytes_ -= it->second.bytes;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  m_entries_->Set(static_cast<double>(entries_.size()));
 }
 
 void PropagationCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   bytes_ = 0;
+  m_entries_->Set(0.0);
 }
 
 int64_t PropagationCache::current_bytes() const {

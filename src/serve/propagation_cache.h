@@ -29,9 +29,19 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "tensor/matrix.h"
 
 namespace ahg::serve {
+
+// Cache key for a propagation product: "<graph_id>/v<model_version>".
+// graph_id identifies a graph *version* (a snapshot generation for dynamic
+// graphs, "g0" for a static serving graph), so a snapshot swap can
+// invalidate every model's product for a retired topology in one call.
+std::string PropagationKey(const std::string& graph_id, int model_version);
+
+// graph_id for generation `gen` of the serving graph ("g<gen>").
+std::string GraphId(uint64_t generation);
 
 class PropagationCache {
  public:
@@ -51,9 +61,21 @@ class PropagationCache {
   std::shared_ptr<const Matrix> GetOrCompute(
       const std::string& key, const std::function<Matrix()>& compute);
 
+  // Inserts (or replaces) `key` with an already-computed value — the
+  // patch-in-place path: the dynamic-graph refresh computes the new H^(L)
+  // incrementally and publishes it here without a compute callback.
+  // Replacing a key never disturbs in-flight readers of the old value; they
+  // hold shared_ptrs.
+  void Put(const std::string& key, std::shared_ptr<const Matrix> value);
+
   // Drops `key` if present (e.g. a retired model version). In-flight
   // shared_ptr holders keep the matrix alive.
   void Invalidate(const std::string& key);
+
+  // Drops every entry whose key starts with "<graph_id>/" — all model
+  // versions computed against a retired graph snapshot. Called by the
+  // snapshot swap so a topology change cannot serve stale products.
+  void InvalidateGraph(const std::string& graph_id);
 
   void Clear();
 
@@ -87,6 +109,11 @@ class PropagationCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  // Mirrors into the process-wide MetricsRegistry so evictions and the
+  // resident entry count are visible in the generic metrics export
+  // (cumulative across caches; the gauge reports the last cache mutated).
+  obs::Counter* const m_evictions_;
+  obs::Gauge* const m_entries_;
 };
 
 }  // namespace ahg::serve

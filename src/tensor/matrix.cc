@@ -307,4 +307,37 @@ bool AllClose(const Matrix& a, const Matrix& b, double tol) {
   return true;
 }
 
+Matrix GatherRows(const Matrix& src, const std::vector<int>& rows) {
+  Matrix out(static_cast<int>(rows.size()), src.cols());
+  const size_t row_bytes = static_cast<size_t>(src.cols()) * sizeof(double);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int r = rows[i];
+    AHG_CHECK(r >= 0 && r < src.rows());
+    std::memcpy(out.Row(static_cast<int>(i)), src.Row(r), row_bytes);
+  }
+  return out;
+}
+
+void ScatterRows(const Matrix& src, const std::vector<int>& rows,
+                 Matrix* dst) {
+  AHG_CHECK_EQ(src.rows(), static_cast<int>(rows.size()));
+  AHG_CHECK_EQ(src.cols(), dst->cols());
+  const size_t row_bytes = static_cast<size_t>(src.cols()) * sizeof(double);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int r = rows[i];
+    AHG_CHECK(r >= 0 && r < dst->rows());
+    std::memcpy(dst->Row(r), src.Row(static_cast<int>(i)), row_bytes);
+  }
+}
+
+Matrix GrowRows(const Matrix& src, int new_rows) {
+  AHG_CHECK_GE(new_rows, src.rows());
+  Matrix out(new_rows, src.cols());
+  if (src.size() > 0) {
+    std::memcpy(out.data(), src.data(),
+                static_cast<size_t>(src.size()) * sizeof(double));
+  }
+  return out;
+}
+
 }  // namespace ahg

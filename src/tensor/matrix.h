@@ -102,6 +102,22 @@ Matrix RowLogSoftmax(const Matrix& a);
 // True when max |a - b| <= tol.
 bool AllClose(const Matrix& a, const Matrix& b, double tol);
 
+// Masked row gather: out row i is src row rows[i]. Every index must be in
+// [0, src.rows()). The serving path uses this to pull queried nodes (and
+// the dynamic path to pull dirty rows) out of a cached hidden-state matrix.
+Matrix GatherRows(const Matrix& src, const std::vector<int>& rows);
+
+// Masked row scatter: dst row rows[i] = src row i (the inverse of
+// GatherRows). Indices must be unique and in range; src must have
+// rows.size() rows and dst->cols() columns.
+void ScatterRows(const Matrix& src, const std::vector<int>& rows,
+                 Matrix* dst);
+
+// Copy of `src` with `new_rows` >= src.rows() rows; the appended tail is
+// zero-filled (dynamic graphs growing their feature / hidden matrices on
+// AddNode).
+Matrix GrowRows(const Matrix& src, int new_rows);
+
 }  // namespace ahg
 
 #endif  // AUTOHENS_TENSOR_MATRIX_H_

@@ -91,6 +91,30 @@ Matrix SparseMatrix::Spmm(const Matrix& x) const {
   return y;
 }
 
+Matrix SparseMatrix::SpmmRows(const std::vector<int>& rows,
+                              const Matrix& x) const {
+  AHG_CHECK_EQ(x.rows(), cols_);
+  AHG_TRACE_SPAN_ARG("tensor/spmm_rows",
+                     static_cast<int64_t>(rows.size()) * x.cols());
+  Matrix y(static_cast<int>(rows.size()), x.cols());
+  const int64_t work_per_row =
+      rows_ > 0 ? std::max<int64_t>(1, nnz() / rows_) * x.cols() : 1;
+  ParallelForChunked(static_cast<int64_t>(rows.size()), work_per_row,
+                     [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int r = rows[i];
+      AHG_CHECK(r >= 0 && r < rows_);
+      double* yrow = y.Row(static_cast<int>(i));
+      for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+        const double v = values_[e];
+        const double* xrow = x.Row(col_idx_[e]);
+        for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+      }
+    }
+  });
+  return y;
+}
+
 Matrix SparseMatrix::SpmmTransposed(const Matrix& x) const {
   AHG_CHECK_EQ(x.rows(), rows_);
   // The scatter form (y[col] += ...) cannot be row-partitioned, so run the

@@ -61,6 +61,12 @@ class SparseMatrix {
   // Y = this * X (dense). X.rows() must equal cols().
   Matrix Spmm(const Matrix& x) const;
 
+  // Row-subset SpMM: output row i is (this * X) row rows[i], accumulated in
+  // the same entry order as Spmm, so each returned row is bitwise identical
+  // to the corresponding row of the full product. The dynamic-graph
+  // incremental refresh uses this to recompute only dirty rows.
+  Matrix SpmmRows(const std::vector<int>& rows, const Matrix& x) const;
+
   // Y = this^T * X (dense). X.rows() must equal rows(). Builds (and caches)
   // the explicit transpose on first use; repeated calls — the SpMM backward
   // runs once per training step — pay only the row-parallel Spmm.

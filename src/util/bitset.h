@@ -1,0 +1,81 @@
+// Flat dynamic bitset used by the dynamic-graph subsystem to track dirty
+// row sets during k-hop frontier expansion. Word-packed so membership
+// testing over the 50k-node serving graphs stays cache-resident, unlike a
+// std::unordered_set<int> of the same cardinality.
+#ifndef AUTOHENS_UTIL_BITSET_H_
+#define AUTOHENS_UTIL_BITSET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ahg {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(int size)
+      : size_(size), words_((static_cast<size_t>(size) + 63) / 64, 0) {
+    AHG_CHECK_GE(size, 0);
+  }
+
+  int size() const { return size_; }
+
+  // Grows to `size` bits, preserving existing bits; never shrinks.
+  void Resize(int size) {
+    AHG_CHECK_GE(size, size_);
+    size_ = size;
+    words_.resize((static_cast<size_t>(size) + 63) / 64, 0);
+  }
+
+  bool Test(int i) const {
+    AHG_CHECK(i >= 0 && i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  // Sets bit i; returns true when the bit was previously clear (so callers
+  // can maintain a count or frontier without a separate Test).
+  bool Set(int i) {
+    AHG_CHECK(i >= 0 && i < size_);
+    uint64_t& w = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (w & mask) return false;
+    w |= mask;
+    ++count_;
+    return true;
+  }
+
+  // Number of set bits (maintained incrementally; O(1)).
+  int Count() const { return count_; }
+
+  // Set bits in ascending order.
+  std::vector<int> ToSortedVector() const {
+    std::vector<int> out;
+    out.reserve(count_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        out.push_back(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  void Clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+
+ private:
+  int size_ = 0;
+  int count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_UTIL_BITSET_H_

@@ -114,5 +114,51 @@ TEST(GraphTest, WeightedEdgesFlowIntoAdjacency) {
   EXPECT_EQ(raw(1, 0), 2.5);
 }
 
+TEST(GraphTest, CreateCheckedAcceptsValidInput) {
+  auto g = Graph::CreateChecked(3, {{0, 1, 1.0}, {1, 2, 1.0}}, false,
+                                Matrix::Constant(3, 2, 1.0), {0, 1, 0}, 2);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_nodes(), 3);
+  EXPECT_EQ(g.value().num_edges(), 2);
+}
+
+TEST(GraphTest, CreateCheckedRejectsOutOfRangeEndpoints) {
+  auto low = Graph::CreateChecked(3, {{-1, 1, 1.0}}, false,
+                                  Matrix::Constant(3, 1, 1.0), {}, 2);
+  EXPECT_FALSE(low.ok());
+  auto high = Graph::CreateChecked(3, {{0, 3, 1.0}}, false,
+                                   Matrix::Constant(3, 1, 1.0), {}, 2);
+  EXPECT_FALSE(high.ok());
+  auto negative = Graph::CreateChecked(-1, {}, false, Matrix(), {}, 2);
+  EXPECT_FALSE(negative.ok());
+}
+
+TEST(GraphTest, CreateCheckedRejectsDuplicateEdges) {
+  auto repeated = Graph::CreateChecked(3, {{0, 1, 1.0}, {0, 1, 2.0}}, false,
+                                       Matrix::Constant(3, 1, 1.0), {}, 2);
+  EXPECT_FALSE(repeated.ok());
+  // Undirected: the reversed orientation lands on the same CSR entries and
+  // would silently sum, so it counts as a duplicate too...
+  auto reversed = Graph::CreateChecked(3, {{0, 1, 1.0}, {1, 0, 1.0}}, false,
+                                       Matrix::Constant(3, 1, 1.0), {}, 2);
+  EXPECT_FALSE(reversed.ok());
+  // ...but is a distinct, legal edge pair when the graph is directed.
+  auto directed = Graph::CreateChecked(3, {{0, 1, 1.0}, {1, 0, 1.0}}, true,
+                                       Matrix::Constant(3, 1, 1.0), {}, 2);
+  EXPECT_TRUE(directed.ok()) << directed.status().ToString();
+}
+
+TEST(GraphTest, CreateCheckedRejectsLabelCountMismatch) {
+  auto g = Graph::CreateChecked(3, {{0, 1, 1.0}}, false,
+                                Matrix::Constant(3, 1, 1.0), {0, 1}, 2);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphDeathTest, CreateAbortsOnDuplicateEdge) {
+  EXPECT_DEATH(Graph::Create(3, {{0, 1, 1.0}, {1, 0, 1.0}}, false,
+                             Matrix::Constant(3, 1, 1.0), {}, 2),
+               "duplicate edge");
+}
+
 }  // namespace
 }  // namespace ahg

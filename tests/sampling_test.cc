@@ -1,0 +1,127 @@
+// Edge cases of proxy-subgraph sampling (graph/sampling.cc): zero-degree
+// nodes survive induction, sample sizes clamp to the graph, fixed seeds
+// reproduce the draw exactly, and split projection drops absent nodes.
+#include <algorithm>
+#include <set>
+
+#include "graph/sampling.h"
+#include "graph/split.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace ahg {
+namespace {
+
+// A 6-node path 0-1-2-3 plus isolated nodes 4 and 5.
+Graph PathWithIsolates() {
+  std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  Matrix features(6, 2);
+  for (int r = 0; r < 6; ++r) {
+    features(r, 0) = r;
+    features(r, 1) = 10.0 + r;
+  }
+  return Graph::Create(6, std::move(edges), /*directed=*/false,
+                       std::move(features), {0, 1, 0, 1, 0, 1},
+                       /*num_classes=*/2);
+}
+
+TEST(SamplingTest, ZeroDegreeNodesSurviveWithFeaturesAndLabels) {
+  Graph graph = PathWithIsolates();
+  Rng rng(3);
+  // ratio 1.0 keeps every node, including the isolated ones.
+  Subgraph sub = SampleInducedSubgraph(graph, 1.0, &rng);
+  ASSERT_EQ(sub.graph.num_nodes(), 6);
+  EXPECT_EQ(sub.graph.num_edges(), 3);
+  for (int i = 0; i < 6; ++i) {
+    const int orig = sub.node_map[i];
+    EXPECT_EQ(sub.graph.labels()[i], graph.labels()[orig]);
+    EXPECT_DOUBLE_EQ(sub.graph.features()(i, 0), graph.features()(orig, 0));
+  }
+  // Isolated original nodes stay isolated: adjacency row has only the self
+  // loop under kRawSelfLoops.
+  const SparseMatrix& adj =
+      sub.graph.Adjacency(AdjacencyKind::kRawSelfLoops);
+  for (int i = 0; i < 6; ++i) {
+    if (sub.node_map[i] >= 4) EXPECT_EQ(adj.RowNnz(i), 1);
+  }
+}
+
+TEST(SamplingTest, TinyRatioClampsToOneNode) {
+  Graph graph = PathWithIsolates();
+  Rng rng(5);
+  Subgraph sub = SampleInducedSubgraph(graph, 1e-9, &rng);
+  ASSERT_EQ(sub.graph.num_nodes(), 1);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+  EXPECT_EQ(static_cast<int>(sub.node_map.size()), 1);
+}
+
+TEST(SamplingTest, SampleNeverExceedsGraphAndMapIsValid) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 4;
+  cfg.avg_degree = 3.0;
+  cfg.seed = 17;
+  Graph graph = GenerateSbmGraph(cfg);
+  for (double ratio : {0.1, 0.5, 0.999, 1.0}) {
+    Rng rng(9);
+    Subgraph sub = SampleInducedSubgraph(graph, ratio, &rng);
+    EXPECT_LE(sub.graph.num_nodes(), graph.num_nodes());
+    EXPECT_GE(sub.graph.num_nodes(), 1);
+    std::set<int> seen;
+    for (int orig : sub.node_map) {
+      EXPECT_GE(orig, 0);
+      EXPECT_LT(orig, graph.num_nodes());
+      EXPECT_TRUE(seen.insert(orig).second) << "duplicate node in map";
+    }
+    // node_map is sorted, so induced edges are reproducible.
+    EXPECT_TRUE(std::is_sorted(sub.node_map.begin(), sub.node_map.end()));
+  }
+}
+
+TEST(SamplingTest, FixedSeedReproducesDrawExactly) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 5;
+  cfg.avg_degree = 4.0;
+  cfg.seed = 23;
+  Graph graph = GenerateSbmGraph(cfg);
+  Rng rng_a(123);
+  Rng rng_b(123);
+  Subgraph a = SampleInducedSubgraph(graph, 0.4, &rng_a);
+  Subgraph b = SampleInducedSubgraph(graph, 0.4, &rng_b);
+  EXPECT_EQ(a.node_map, b.node_map);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (int64_t e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edges()[e].src, b.graph.edges()[e].src);
+    EXPECT_EQ(a.graph.edges()[e].dst, b.graph.edges()[e].dst);
+  }
+  Rng rng_c(124);
+  Subgraph c = SampleInducedSubgraph(graph, 0.4, &rng_c);
+  EXPECT_NE(a.node_map, c.node_map) << "different seeds drew the same sample";
+}
+
+TEST(SamplingTest, ProjectSplitDropsAbsentNodesAndRemapsPresent) {
+  Graph graph = PathWithIsolates();
+  Rng rng(3);
+  Subgraph sub = SampleInducedSubgraph(graph, 0.5, &rng);  // 3 of 6 nodes
+  DataSplit split;
+  split.train = {0, 1, 2, 3, 4, 5};
+  split.val = {0, 5};
+  split.test = {3};
+  DataSplit projected = ProjectSplit(sub, split, graph.num_nodes());
+  EXPECT_EQ(projected.train.size(), sub.node_map.size());
+  for (int idx : projected.train) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, sub.graph.num_nodes());
+  }
+  // Every projected index maps back to a node that was in the sample.
+  for (int idx : projected.val) {
+    EXPECT_TRUE(std::count(split.val.begin(), split.val.end(),
+                           sub.node_map[idx]) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace ahg
