@@ -6,10 +6,16 @@
 //
 // Accepts --trace-out FILE / --metrics-out FILE in addition to the standard
 // google-benchmark flags (ours are stripped before benchmark::Initialize,
-// which rejects flags it does not know).
+// which rejects flags it does not know). --json-out FILE switches to a
+// deterministic measurement suite (GEMM/SpMM ns/op plus the GCN train step
+// with the memory plane off and on) and writes the BENCH_kernels.json
+// schema the perf-smoke CI job diffs against.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "autodiff/graph_ops.h"
@@ -19,7 +25,9 @@
 #include "models/model.h"
 #include "models/model_zoo.h"
 #include "nn/linear.h"
+#include "tensor/alloc_tracker.h"
 #include "tensor/matrix.h"
+#include "tensor/pool.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -79,32 +87,67 @@ void BM_GatAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_GatAggregate);
 
-void BM_GcnTrainStep(benchmark::State& state) {
-  const Graph& g = BenchGraph();
-  ModelConfig cfg;
-  cfg.family = ModelFamily::kGcn;
-  cfg.in_dim = g.feature_dim();
-  cfg.hidden_dim = 32;
-  cfg.num_layers = 2;
-  cfg.dropout = 0.0;
-  cfg.seed = 5;
-  std::unique_ptr<GnnModel> model = BuildModel(cfg);
-  Rng head_rng(6);
-  Linear head(model->params(), 32, g.num_classes(), true, &head_rng);
-  Var features = MakeConstant(g.features());
-  std::vector<int> mask;
-  for (int i = 0; i < g.num_nodes(); i += 3) mask.push_back(i);
-  Rng dropout_rng(7);
-  for (auto _ : state) {
-    model->params()->ZeroGrad();
-    GnnContext ctx{&g, true, &dropout_rng};
-    Var logits = head.Apply(model->LayerOutputs(ctx, features).back());
-    Var loss = MaskedCrossEntropy(logits, g.labels(), mask);
+// One full GCN train step (forward, masked loss, backward) on the bench
+// graph; `pooling`/`fusion` select the memory-plane fast path. Shared by
+// the google-benchmark wrappers and the --json-out suite.
+class GcnStepHarness {
+ public:
+  GcnStepHarness() : g_(BenchGraph()), dropout_rng_(7) {
+    ModelConfig cfg;
+    cfg.family = ModelFamily::kGcn;
+    cfg.in_dim = g_.feature_dim();
+    cfg.hidden_dim = 32;
+    cfg.num_layers = 2;
+    cfg.dropout = 0.0;
+    cfg.seed = 5;
+    model_ = BuildModel(cfg);
+    Rng head_rng(6);
+    head_ = std::make_unique<Linear>(model_->params(), 32, g_.num_classes(),
+                                     true, &head_rng);
+    features_ = MakeConstant(g_.features());
+    for (int i = 0; i < g_.num_nodes(); i += 3) mask_.push_back(i);
+  }
+
+  double Step() {
+    model_->params()->ZeroGrad();
+    GnnContext ctx{&g_, true, &dropout_rng_};
+    Var logits = head_->Apply(model_->LayerOutputs(ctx, features_).back());
+    Var loss = MaskedCrossEntropy(logits, g_.labels(), mask_);
     Backward(loss);
-    benchmark::DoNotOptimize(loss->value(0, 0));
+    return loss->value(0, 0);
+  }
+
+ private:
+  const Graph& g_;
+  Rng dropout_rng_;
+  std::unique_ptr<GnnModel> model_;
+  std::unique_ptr<Linear> head_;
+  Var features_;
+  std::vector<int> mask_;
+};
+
+void BM_GcnTrainStep(benchmark::State& state) {
+  GcnStepHarness harness;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.Step());
   }
 }
 BENCHMARK(BM_GcnTrainStep);
+
+void BM_GcnTrainStepPooled(benchmark::State& state) {
+  ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/true);
+  ScopedArena arena;
+  GcnStepHarness harness;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.Step());
+  }
+  const MatrixPoolStats stats = MatrixPool::Global().Stats();
+  state.counters["pool_hit_rate"] =
+      stats.hits + stats.misses > 0
+          ? static_cast<double>(stats.hits) / (stats.hits + stats.misses)
+          : 0.0;
+}
+BENCHMARK(BM_GcnTrainStepPooled);
 
 // ---------------------------------------------------------------------------
 // Thread-scaling sweep: the same kernels at threads = 1/2/4 on a graph big
@@ -207,6 +250,111 @@ void BM_SpmmSpeedup(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmSpeedup)->Iterations(1)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// --json-out FILE: a small deterministic measurement suite for the
+// perf-smoke CI job. Timing fields are informational (machine-dependent);
+// the allocation counters are deterministic per build and are what CI
+// hard-fails on. Schema: bench/BENCH_kernels.json (the committed baseline).
+// ---------------------------------------------------------------------------
+
+struct StepSuiteResult {
+  double ns_op = 0.0;
+  int64_t allocs_per_step = 0;
+  int64_t bytes_per_step = 0;
+  double pool_hit_rate = 0.0;
+};
+
+StepSuiteResult MeasureGcnStep(bool pooling, bool fusion) {
+  constexpr int kWarmup = 3;
+  constexpr int kSteps = 10;
+  ScopedMemPlane plane(pooling, fusion);
+  ScopedArena arena(pooling);
+  GcnStepHarness harness;
+  for (int i = 0; i < kWarmup; ++i) harness.Step();
+  const int64_t allocs0 = AllocTracker::AllocationCount();
+  const int64_t bytes0 = AllocTracker::TotalAllocatedBytes();
+  const MatrixPoolStats pool0 = MatrixPool::Global().Stats();
+  Stopwatch watch;
+  for (int i = 0; i < kSteps; ++i) harness.Step();
+  const double seconds = watch.ElapsedSeconds();
+  StepSuiteResult r;
+  r.ns_op = 1e9 * seconds / kSteps;
+  r.allocs_per_step = (AllocTracker::AllocationCount() - allocs0) / kSteps;
+  r.bytes_per_step = (AllocTracker::TotalAllocatedBytes() - bytes0) / kSteps;
+  const MatrixPoolStats pool1 = MatrixPool::Global().Stats();
+  const int64_t hits = pool1.hits - pool0.hits;
+  const int64_t misses = pool1.misses - pool0.misses;
+  r.pool_hit_rate =
+      hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
+  return r;
+}
+
+double MeasureNsPerOp(int reps, const std::function<void()>& op) {
+  op();  // warm
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    op();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return 1e9 * best;
+}
+
+bool WriteKernelsJson(const std::string& path) {
+  Rng rng(21);
+  Matrix a = Matrix::Gaussian(1024, 64, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(64, 64, 1.0, &rng);
+  const double matmul_ns =
+      MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+
+  const Graph& g = BenchGraph();
+  Matrix x = Matrix::Gaussian(g.num_nodes(), 64, 1.0, &rng);
+  const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+  const double spmm_ns =
+      MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(adj.Spmm(x)); });
+
+  const StepSuiteResult baseline = MeasureGcnStep(false, false);
+  const StepSuiteResult pooled = MeasureGcnStep(true, true);
+  const double speedup =
+      pooled.ns_op > 0.0 ? baseline.ns_op / pooled.ns_op : 0.0;
+  const double alloc_reduction =
+      baseline.allocs_per_step > 0
+          ? 1.0 - static_cast<double>(pooled.allocs_per_step) /
+                      static_cast<double>(baseline.allocs_per_step)
+          : 0.0;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"matmul_1024x64x64_ns_op\": %.0f,\n"
+               "  \"spmm_3000n_64c_ns_op\": %.0f,\n"
+               "  \"gcn_train_step\": {\n"
+               "    \"baseline\": {\"ns_op\": %.0f, \"allocs_per_step\": "
+               "%lld, \"bytes_per_step\": %lld},\n"
+               "    \"pooled\": {\"ns_op\": %.0f, \"allocs_per_step\": %lld, "
+               "\"bytes_per_step\": %lld, \"pool_hit_rate\": %.4f},\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"alloc_reduction\": %.4f\n"
+               "  }\n"
+               "}\n",
+               matmul_ns, spmm_ns, baseline.ns_op,
+               static_cast<long long>(baseline.allocs_per_step),
+               static_cast<long long>(baseline.bytes_per_step), pooled.ns_op,
+               static_cast<long long>(pooled.allocs_per_step),
+               static_cast<long long>(pooled.bytes_per_step),
+               pooled.pool_hit_rate, speedup, alloc_reduction);
+  std::fclose(f);
+  std::printf("wrote %s (baseline %lld allocs/step -> pooled %lld, "
+              "speedup %.2fx)\n",
+              path.c_str(), static_cast<long long>(baseline.allocs_per_step),
+              static_cast<long long>(pooled.allocs_per_step), speedup);
+  return true;
+}
+
 void BM_BackwardOverhead(benchmark::State& state) {
   // Chain of elementwise ops: measures tape traversal cost.
   Rng rng(8);
@@ -226,6 +374,7 @@ BENCHMARK(BM_BackwardOverhead);
 int main(int argc, char** argv) {
   const ahg::bench::ObsFlags obs_flags =
       ahg::bench::ParseObsFlags(argc, argv);
+  std::string json_out;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if ((std::strcmp(argv[i], "--trace-out") == 0 ||
@@ -234,7 +383,16 @@ int main(int argc, char** argv) {
       ++i;  // skip the flag and its value
       continue;
     }
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (!json_out.empty()) {
+    // Deterministic perf-smoke suite instead of the google-benchmark
+    // harness: writes the BENCH_kernels.json schema CI diffs against.
+    return WriteKernelsJson(json_out) ? 0 : 1;
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
   const uint64_t seed =
       static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "29")));
   const bool assert_match = HasFlag(argc, argv, "--assert-match");
+  const bool pooling = HasFlag(argc, argv, "--pooling");
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out", "");
 
   SyntheticConfig cfg;
@@ -146,7 +147,9 @@ int main(int argc, char** argv) {
               /*bias=*/true, &head_rng);
   model.params = zoo->params()->Snapshot();
 
-  auto server_or = StreamingServer::Create(graph, model);
+  StreamOptions stream_options;
+  stream_options.refresh.pooling = pooling;
+  auto server_or = StreamingServer::Create(graph, model, stream_options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server create failed: %s\n",
                  server_or.status().ToString().c_str());

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/pool.h"
 #include "util/rng.h"
 
 namespace ahg {
@@ -96,12 +97,79 @@ Var AddRowVector(const Var& m, const Var& bias) {
   });
 }
 
+Var LinearRelu(const Var& x, const Var& w, const Var& b) {
+  AHG_CHECK_EQ(x->cols(), w->rows());
+  if (b) {
+    AHG_CHECK_EQ(b->rows(), 1);
+    AHG_CHECK_EQ(b->cols(), w->cols());
+  }
+  Matrix out = ahg::MatMul(x->value, w->value);
+  // Single in-place pass over the product: the additions and the max are
+  // the exact per-element arithmetic AddRowVector and Relu would perform on
+  // their own output buffers.
+  const double* bias = b ? b->value.Row(0) : nullptr;
+  for (int r = 0; r < out.rows(); ++r) {
+    double* row = out.Row(r);
+    for (int c = 0; c < out.cols(); ++c) {
+      const double v = bias ? row[c] + bias[c] : row[c];
+      row[c] = v > 0.0 ? v : 0.0;
+    }
+  }
+  std::vector<Var> parents =
+      b ? std::vector<Var>{x, w, b} : std::vector<Var>{x, w};
+  return MakeOpNode(
+      std::move(out), std::move(parents), [x, w, b](const Node& n) {
+        // gp reproduces the pre-activation node's grad from the unfused
+        // chain: zero-initialized, then += g * 1[out > 0] — the same
+        // products (including g * 0.0 sign behavior) and the same
+        // accumulate-into-zero the Relu backward performs. out > 0 iff the
+        // pre-activation was > 0, so masking from n.value is exact.
+        Matrix gp(n.grad.rows(), n.grad.cols());
+        for (int64_t i = 0; i < gp.size(); ++i) {
+          gp.data()[i] +=
+              n.grad.data()[i] * (n.value.data()[i] > 0.0 ? 1.0 : 0.0);
+        }
+        // Parent order matches the unfused reverse-topo sweep: bias (from
+        // the AddRowVector node), then x, then w (from the MatMul node).
+        if (b && b->requires_grad) {
+          b->EnsureGrad();
+          double* bg = b->grad.Row(0);
+          for (int r = 0; r < gp.rows(); ++r) {
+            const double* g = gp.Row(r);
+            for (int c = 0; c < gp.cols(); ++c) bg[c] += g[c];
+          }
+        }
+        if (x->requires_grad) AccumulateInto(x, MatMulTransB(gp, w->value));
+        if (w->requires_grad) AccumulateInto(w, MatMulTransA(x->value, gp));
+      });
+}
+
 namespace {
 
 // Shared shape of unary elementwise ops: forward maps value, backward scales
 // incoming grad by a derivative computed from (input, output).
 template <typename FwdFn, typename BwdFn>
 Var UnaryElementwise(const Var& a, FwdFn fwd, BwdFn deriv) {
+  if (InInferenceMode()) {
+    // The node comes out detached, so no backward capture is needed. When
+    // this handle is the node's sole owner (a chained temporary like
+    // act(lin.Apply(h))), the fusion fast path transforms the value in
+    // place instead of allocating: the donor node is unobservable after
+    // this call. Callers inside fusion regions must not keep reading a
+    // solely-owned Var's value after passing it to an elementwise op.
+    if (FusionEnabled() && a.use_count() == 1 && !a->value.empty()) {
+      Matrix out = std::move(a->value);
+      for (int64_t i = 0; i < out.size(); ++i) {
+        out.data()[i] = fwd(out.data()[i]);
+      }
+      return MakeOpNode(std::move(out), {}, nullptr);
+    }
+    Matrix out(a->rows(), a->cols());
+    for (int64_t i = 0; i < out.size(); ++i) {
+      out.data()[i] = fwd(a->value.data()[i]);
+    }
+    return MakeOpNode(std::move(out), {}, nullptr);
+  }
   Matrix out(a->rows(), a->cols());
   for (int64_t i = 0; i < out.size(); ++i) {
     out.data()[i] = fwd(a->value.data()[i]);
@@ -398,13 +466,34 @@ Var MaskedCrossEntropy(const Var& logits, const std::vector<int>& labels,
                        const std::vector<int>& mask) {
   AHG_CHECK(!mask.empty());
   AHG_CHECK_EQ(static_cast<int>(labels.size()), logits->rows());
-  Matrix logp = RowLogSoftmax(logits->value);
   double loss = 0.0;
-  for (int idx : mask) {
-    AHG_CHECK(idx >= 0 && idx < logits->rows());
-    const int y = labels[idx];
-    AHG_CHECK(y >= 0 && y < logits->cols());
-    loss -= logp(idx, y);
+  if (FusionEnabled()) {
+    // Masked rows only — skips materializing the full n x C log-softmax.
+    // Per row this is the exact arithmetic RowLogSoftmax performs (rows are
+    // independent there), so the loss is bitwise identical to the unfused
+    // branch below.
+    for (int idx : mask) {
+      AHG_CHECK(idx >= 0 && idx < logits->rows());
+      const int y = labels[idx];
+      AHG_CHECK(y >= 0 && y < logits->cols());
+      const double* row = logits->value.Row(idx);
+      double max_val = row[0];
+      for (int c = 1; c < logits->cols(); ++c)
+        max_val = std::max(max_val, row[c]);
+      double total = 0.0;
+      for (int c = 0; c < logits->cols(); ++c)
+        total += std::exp(row[c] - max_val);
+      const double log_total = std::log(total) + max_val;
+      loss -= row[y] - log_total;
+    }
+  } else {
+    Matrix logp = RowLogSoftmax(logits->value);
+    for (int idx : mask) {
+      AHG_CHECK(idx >= 0 && idx < logits->rows());
+      const int y = labels[idx];
+      AHG_CHECK(y >= 0 && y < logits->cols());
+      loss -= logp(idx, y);
+    }
   }
   const double inv_m = 1.0 / static_cast<double>(mask.size());
   Matrix out(1, 1);

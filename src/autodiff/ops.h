@@ -33,6 +33,14 @@ Var MatMul(const Var& a, const Var& b);
 // Adds a 1 x cols bias row to every row of m.
 Var AddRowVector(const Var& m, const Var& bias);
 
+// Fused relu(x * W + b); `b` may be a null Var for bias-free layers. One op
+// node and one n x out buffer replace the MatMul -> AddRowVector -> Relu
+// chain (three outputs plus a captured activation copy). Forward and
+// backward replicate the unfused chain's per-element arithmetic and
+// accumulation order exactly, so results are bitwise identical to the
+// three-op form. nn/Linear::ApplyRelu selects this when FusionEnabled().
+Var LinearRelu(const Var& x, const Var& w, const Var& b);
+
 // Activations.
 Var Relu(const Var& a);
 Var LeakyRelu(const Var& a, double negative_slope);

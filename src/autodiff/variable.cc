@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "obs/trace.h"
+#include "tensor/pool.h"
 
 namespace ahg {
 namespace {
@@ -100,6 +101,12 @@ void Backward(const Var& root) {
       AHG_TRACE_SPAN_ARG("autodiff/backward_op",
                          node->value.size());
       node->backward_fn(*node);
+      // Reverse-topo order means every consumer of this op node has already
+      // run, and only consumers read a node's grad — it is dead from here
+      // on. With pooling enabled, hand the buffer back immediately so the
+      // sweep's later (larger, earlier-layer) grads recycle it instead of
+      // growing the arena; leaves keep their grads for the optimizer.
+      if (PoolingEnabled()) node->grad = Matrix();
     }
   }
 }

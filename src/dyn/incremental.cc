@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "tensor/pool.h"
 #include "util/bitset.h"
 #include "util/logging.h"
 
@@ -101,6 +102,10 @@ std::vector<Matrix> IncrementalPropagator::ComputeStates(
 
 RefreshStats IncrementalPropagator::FullRefresh(const GraphSnapshot& snap) {
   AHG_TRACE_SPAN_ARG("dyn/full_refresh", snap.num_nodes());
+  // Pool stays warm across refreshes (no arena trim): a streaming workload
+  // reuses the same layer-state and scratch shapes every batch. Fusion is
+  // left as the caller set it — this path runs raw kernels, not autodiff.
+  ScopedMemPlane mem_plane(options_.pooling, FusionEnabled());
   AHG_CHECK_EQ(snap.feature_dim(), config_.in_dim);
   states_ = ComputeStates(snap, snap.DenseFeatures());
   hidden_ = std::make_shared<const Matrix>(states_.back());
@@ -128,6 +133,7 @@ StatusOr<RefreshStats> IncrementalPropagator::Refresh(
   }
   AHG_TRACE_SPAN_ARG("dyn/incremental_refresh",
                      static_cast<int64_t>(delta.dirty_adj_rows.size()));
+  ScopedMemPlane mem_plane(options_.pooling, FusionEnabled());
   const DeltaCsr& adj = snap.adjacency();
   const int n = snap.num_nodes();
 

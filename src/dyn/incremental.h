@@ -40,6 +40,10 @@ namespace ahg::dyn {
 struct RefreshOptions {
   // Fall back to a full recompute when |D_L| / num_nodes exceeds this.
   double full_refresh_fraction = 0.5;
+  // Recycle refresh scratch (dirty-row gathers, per-layer patch products)
+  // through the MatrixPool (tensor/pool.h) for the duration of each
+  // Refresh/FullRefresh call. Bitwise-neutral.
+  bool pooling = false;
 };
 
 struct RefreshStats {

@@ -37,7 +37,7 @@ class ArmaModel : public GnnModel {
     std::vector<Var> states;
     std::vector<Var> skips;
     for (auto& stack : stacks_) {
-      states.push_back(Relu(stack.input->Apply(input)));
+      states.push_back(stack.input->ApplyRelu(input));
       skips.push_back(stack.skip->Apply(input));
     }
     std::vector<Var> outputs;

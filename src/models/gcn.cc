@@ -28,7 +28,7 @@ class GcnModel : public GnnModel {
     Var h = x;
     for (const Linear& layer : layers_) {
       h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
-      h = Relu(layer.Apply(Spmm(adj, h)));
+      h = layer.ApplyRelu(Spmm(adj, h));
       outputs.push_back(h);
     }
     return outputs;

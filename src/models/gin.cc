@@ -30,7 +30,7 @@ class GinModel : public GnnModel {
     Var h = x;
     for (int l = 0; l < config_.num_layers; ++l) {
       h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
-      h = Relu(mlp2_[l].Apply(Relu(mlp1_[l].Apply(Spmm(adj, h)))));
+      h = mlp2_[l].ApplyRelu(mlp1_[l].ApplyRelu(Spmm(adj, h)));
       outputs.push_back(h);
     }
     return outputs;

@@ -38,7 +38,7 @@ class GraphSageModel : public GnnModel {
       h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
       Var agg;
       if (pool_aggregator_) {
-        agg = NeighborMaxPool(raw_adj, Relu(pool_[l].Apply(h)));
+        agg = NeighborMaxPool(raw_adj, pool_[l].ApplyRelu(h));
       } else {
         agg = Spmm(mean_adj, h);
       }

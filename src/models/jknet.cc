@@ -30,7 +30,7 @@ class JkMaxModel : public GnnModel {
     Var jump;
     for (const Linear& layer : layers_) {
       h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
-      h = Relu(layer.Apply(Spmm(adj, h)));
+      h = layer.ApplyRelu(Spmm(adj, h));
       jump = jump ? CWiseMax(jump, h) : h;
       outputs.push_back(jump);
     }
@@ -70,7 +70,7 @@ class DnaHighwayModel : public GnnModel {
     Var h = x;
     for (int l = 0; l < config_.num_layers; ++l) {
       Var input = Dropout(h, config_.dropout, ctx.training, ctx.rng);
-      Var agg = Relu(layers_[l].Apply(Spmm(adj, input)));
+      Var agg = layers_[l].ApplyRelu(Spmm(adj, input));
       if (l == 0) {
         h = agg;
       } else {

@@ -26,7 +26,7 @@ class MlpModel : public GnnModel {
     Var h = x;
     for (const Linear& layer : layers_) {
       h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
-      h = Relu(layer.Apply(h));
+      h = layer.ApplyRelu(h);
       outputs.push_back(h);
     }
     return outputs;

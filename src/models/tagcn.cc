@@ -32,7 +32,7 @@ class TagcnModel : public GnnModel {
       h = Dropout(h, config_.dropout, ctx.training, ctx.rng);
       std::vector<Var> powers{h};
       for (int p = 0; p < k; ++p) powers.push_back(Spmm(adj, powers.back()));
-      h = Relu(layer.Apply(ConcatCols(powers)));
+      h = layer.ApplyRelu(ConcatCols(powers));
       outputs.push_back(h);
     }
     return outputs;

@@ -2,6 +2,7 @@
 
 #include "autodiff/ops.h"
 #include "nn/init.h"
+#include "tensor/pool.h"
 
 namespace ahg {
 
@@ -16,6 +17,11 @@ Var Linear::Apply(const Var& x) const {
   Var out = MatMul(x, weight_);
   if (bias_) out = AddRowVector(out, bias_);
   return out;
+}
+
+Var Linear::ApplyRelu(const Var& x) const {
+  if (FusionEnabled()) return LinearRelu(x, weight_, bias_);
+  return Relu(Apply(x));
 }
 
 }  // namespace ahg

@@ -17,6 +17,10 @@ class Linear {
   // x is n x in_dim; returns n x out_dim.
   Var Apply(const Var& x) const;
 
+  // relu(Apply(x)), using the fused single-buffer op when FusionEnabled()
+  // (tensor/pool.h); bitwise identical either way.
+  Var ApplyRelu(const Var& x) const;
+
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
   const Var& weight() const { return weight_; }

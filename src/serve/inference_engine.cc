@@ -6,6 +6,7 @@
 #include "autodiff/ops.h"
 #include "nn/linear.h"
 #include "obs/trace.h"
+#include "tensor/pool.h"
 #include "util/string_util.h"
 
 namespace ahg::serve {
@@ -24,12 +25,19 @@ Matrix ApplyClassifierHead(const Matrix& hidden_rows,
 InferenceEngine::InferenceEngine(const Graph* graph,
                                  const EngineOptions& options,
                                  ServeStats* stats)
-    : graph_(graph), cache_(options.cache_byte_budget), stats_(stats) {
+    : graph_(graph),
+      cache_(options.cache_byte_budget),
+      stats_(stats),
+      pooling_(options.pooling),
+      fusion_(options.fusion) {
   AHG_CHECK(graph != nullptr);
 }
 
 StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
     const ServableModel& model) {
+  // Covers the miss-path frozen forward; flags are thread-local, so this
+  // applies on whichever request thread runs the compute.
+  ScopedMemPlane mem_plane(pooling_, fusion_);
   // One consistent (graph, generation) pair for the whole request; a
   // concurrent SwapGraph retargets later requests, never this one.
   const Graph* graph;
@@ -79,6 +87,7 @@ StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
                                                const std::vector<int>& nodes) {
   AHG_TRACE_SPAN_ARG("serve/predict_nodes",
                      static_cast<int64_t>(nodes.size()));
+  ScopedMemPlane mem_plane(pooling_, fusion_);
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
   const Matrix& h = *hidden.value();
@@ -99,6 +108,7 @@ StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
 }
 
 StatusOr<Matrix> InferenceEngine::PredictAll(const ServableModel& model) {
+  ScopedMemPlane mem_plane(pooling_, fusion_);
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
   return ApplyClassifierHead(*hidden.value(), model);

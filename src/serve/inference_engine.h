@@ -37,6 +37,13 @@ Matrix ApplyClassifierHead(const Matrix& hidden_rows,
 struct EngineOptions {
   // LRU budget for cached propagation products; <= 0 means unbounded.
   int64_t cache_byte_budget = int64_t{256} << 20;
+  // Recycle per-request tensor buffers (gathered rows, head outputs, cache
+  // recomputes) through the MatrixPool (tensor/pool.h). The pool stays warm
+  // across requests — no arena trim on the serving path — so steady-state
+  // queries allocate nothing. Bitwise-neutral.
+  bool pooling = false;
+  // Fused kernels on the frozen forward + head path. Bitwise-neutral.
+  bool fusion = false;
 };
 
 class InferenceEngine {
@@ -104,6 +111,8 @@ class InferenceEngine {
   uint64_t graph_generation_ = 0;
   PropagationCache cache_;
   ServeStats* const stats_;
+  const bool pooling_;
+  const bool fusion_;
 };
 
 }  // namespace ahg::serve

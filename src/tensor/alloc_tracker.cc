@@ -2,15 +2,29 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace ahg {
 namespace {
 
 std::atomic<int64_t> g_current_bytes{0};
 std::atomic<int64_t> g_peak_bytes{0};
+std::atomic<int64_t> g_alloc_count{0};
+std::atomic<int64_t> g_total_bytes{0};
+
+obs::Counter* HeapAllocCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("tensor.heap_allocs");
+  return c;
+}
 
 }  // namespace
 
 void AllocTracker::Add(size_t bytes) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_total_bytes.fetch_add(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+  HeapAllocCounter()->Increment();
   const int64_t now =
       g_current_bytes.fetch_add(static_cast<int64_t>(bytes)) +
       static_cast<int64_t>(bytes);
@@ -28,6 +42,25 @@ int64_t AllocTracker::CurrentBytes() { return g_current_bytes.load(); }
 
 int64_t AllocTracker::PeakBytes() { return g_peak_bytes.load(); }
 
-void AllocTracker::ResetPeak() { g_peak_bytes.store(g_current_bytes.load()); }
+void AllocTracker::ResetPeak() {
+  // CAS-max, not a blind store: only ever lower the peak, and re-read the
+  // live size each round so a concurrent Add's freshly CAS-ed high-water
+  // mark (which is >= its own `now` >= our re-read `cur`) is never
+  // overwritten with a smaller stale snapshot.
+  int64_t peak = g_peak_bytes.load();
+  while (true) {
+    const int64_t cur = g_current_bytes.load();
+    if (peak <= cur) break;
+    if (g_peak_bytes.compare_exchange_weak(peak, cur)) break;
+  }
+}
+
+int64_t AllocTracker::AllocationCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+int64_t AllocTracker::TotalAllocatedBytes() {
+  return g_total_bytes.load(std::memory_order_relaxed);
+}
 
 }  // namespace ahg

@@ -1,8 +1,14 @@
 // Process-wide accounting of tensor memory.
 //
-// Every Matrix allocation/release reports here; the runtime-statistics bench
-// (Table VI of the paper) reads the peak to reproduce the paper's "Peak GPU"
-// column on our CPU substrate.
+// Every Matrix heap allocation/release reports here; the runtime-statistics
+// bench (Table VI of the paper) reads the peak to reproduce the paper's
+// "Peak GPU" column on our CPU substrate. With the MatrixPool enabled
+// (tensor/pool.h), only real heap traffic is counted: a pool hit neither
+// adds bytes nor bumps AllocationCount(), so a steady-state training step
+// with pooling on reports zero new allocations — the property the
+// perf-smoke CI job asserts. Bytes parked in the pool's free lists remain
+// counted as live (they are resident, exactly like the GPU-allocator pools
+// the paper's nvidia-smi numbers include).
 #ifndef AUTOHENS_TENSOR_ALLOC_TRACKER_H_
 #define AUTOHENS_TENSOR_ALLOC_TRACKER_H_
 
@@ -13,20 +19,31 @@ namespace ahg {
 
 class AllocTracker {
  public:
-  // Records `bytes` newly allocated.
+  // Records `bytes` newly allocated (one heap allocation).
   static void Add(size_t bytes);
 
   // Records `bytes` released.
   static void Remove(size_t bytes);
 
-  // Bytes currently live.
+  // Bytes currently live (including pool-idle buffers).
   static int64_t CurrentBytes();
 
   // High-water mark since the last ResetPeak().
   static int64_t PeakBytes();
 
-  // Sets the peak to the current live size.
+  // Lowers the peak to the current live size. Never lowers it below a
+  // high-water mark a concurrent Add() is recording: the adjustment is a
+  // CAS that re-reads the live size, not a blind store, so the invariant
+  // peak >= current holds through concurrent Add/ResetPeak interleavings.
   static void ResetPeak();
+
+  // Cumulative count of heap allocations since process start (pool hits
+  // excluded). Monotonic; diff across a region to count its allocations.
+  static int64_t AllocationCount();
+
+  // Cumulative bytes ever heap-allocated (monotonic; diff across a region
+  // for bytes-per-step style reporting).
+  static int64_t TotalAllocatedBytes();
 };
 
 }  // namespace ahg

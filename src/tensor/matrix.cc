@@ -6,52 +6,70 @@
 
 #include "obs/trace.h"
 #include "tensor/alloc_tracker.h"
+#include "tensor/pool.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ahg {
 
-void Matrix::Allocate(int rows, int cols) {
+void Matrix::Allocate(int rows, int cols, bool zero) {
   AHG_CHECK_GE(rows, 0);
   AHG_CHECK_GE(cols, 0);
   rows_ = rows;
   cols_ = cols;
   const int64_t n = size();
   if (n > 0) {
-    data_ = new double[n]();
-    AllocTracker::Add(static_cast<size_t>(n) * sizeof(double));
+    if (PoolingEnabled()) {
+      // Pool hits recycle (and re-zero) a parked buffer; misses heap-
+      // allocate and are the only path that counts in AllocTracker.
+      data_ = MatrixPool::Global().Acquire(n, zero);
+      pooled_ = true;
+    } else {
+      data_ = zero ? new double[n]() : new double[n];
+      pooled_ = false;
+      AllocTracker::Add(static_cast<size_t>(n) * sizeof(double));
+    }
   }
 }
 
 void Matrix::Release() {
   if (data_ != nullptr) {
-    AllocTracker::Remove(static_cast<size_t>(size()) * sizeof(double));
-    delete[] data_;
+    if (pooled_) {
+      MatrixPool::Global().Release(data_, size());
+    } else {
+      AllocTracker::Remove(static_cast<size_t>(size()) * sizeof(double));
+      delete[] data_;
+    }
     data_ = nullptr;
   }
   rows_ = 0;
   cols_ = 0;
+  pooled_ = false;
 }
 
 Matrix::Matrix(int rows, int cols) { Allocate(rows, cols); }
 
 Matrix::Matrix(const Matrix& other) {
-  Allocate(other.rows_, other.cols_);
+  Allocate(other.rows_, other.cols_, /*zero=*/false);
   if (size() > 0) std::memcpy(data_, other.data_, size() * sizeof(double));
 }
 
 Matrix& Matrix::operator=(const Matrix& other) {
   if (this == &other) return *this;
   Release();
-  Allocate(other.rows_, other.cols_);
+  Allocate(other.rows_, other.cols_, /*zero=*/false);
   if (size() > 0) std::memcpy(data_, other.data_, size() * sizeof(double));
   return *this;
 }
 
 Matrix::Matrix(Matrix&& other) noexcept
-    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      pooled_(other.pooled_),
+      data_(other.data_) {
   other.rows_ = 0;
   other.cols_ = 0;
+  other.pooled_ = false;
   other.data_ = nullptr;
 }
 
@@ -60,9 +78,11 @@ Matrix& Matrix::operator=(Matrix&& other) noexcept {
   Release();
   rows_ = other.rows_;
   cols_ = other.cols_;
+  pooled_ = other.pooled_;
   data_ = other.data_;
   other.rows_ = 0;
   other.cols_ = 0;
+  other.pooled_ = false;
   other.data_ = nullptr;
   return *this;
 }
@@ -142,19 +162,26 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   AHG_TRACE_SPAN_ARG("tensor/matmul",
                      int64_t{a.rows()} * a.cols() * b.cols());
   Matrix c(a.rows(), b.cols());
-  // Row-parallel: each output row is owned by one worker and accumulated in
-  // the same i-k-j order (streaming rows of b) as the sequential kernel, so
-  // the result is bitwise identical for every thread count.
+  // Row-parallel and cache-blocked over the reduction dimension: the outer
+  // k-panel loop keeps a kc x b.cols() slab of B hot in cache while every
+  // row of the chunk streams through it. Each output row is owned by one
+  // worker, and each c[i][j] still accumulates k in globally ascending
+  // order (panels ascend, k ascends within a panel), so the result is
+  // bitwise identical to the unblocked i-k-j kernel at every thread count.
+  constexpr int kPanelK = 128;  // ~128 x 64 doubles of B per slab
   const int64_t work_per_row = int64_t{a.cols()} * b.cols();
   ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      const double* arow = a.Row(static_cast<int>(i));
-      double* crow = c.Row(static_cast<int>(i));
-      for (int k = 0; k < a.cols(); ++k) {
-        const double aik = arow[k];
-        if (aik == 0.0) continue;
-        const double* brow = b.Row(k);
-        for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    for (int k0 = 0; k0 < a.cols(); k0 += kPanelK) {
+      const int k1 = std::min(a.cols(), k0 + kPanelK);
+      for (int64_t i = begin; i < end; ++i) {
+        const double* arow = a.Row(static_cast<int>(i));
+        double* crow = c.Row(static_cast<int>(i));
+        for (int k = k0; k < k1; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = b.Row(k);
+          for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
       }
     }
   });
@@ -210,12 +237,34 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   AHG_TRACE_SPAN_ARG("tensor/matmul_tb",
                      int64_t{a.rows()} * a.cols() * b.rows());
   Matrix c(a.rows(), b.rows());
+  // Register-blocked over j: four dot products share each arow[k] load.
+  // Every dot still accumulates its own k in ascending order, so values are
+  // bitwise identical to the one-j-at-a-time kernel.
   const int64_t work_per_row = int64_t{a.cols()} * b.rows();
   ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       const double* arow = a.Row(static_cast<int>(i));
       double* crow = c.Row(static_cast<int>(i));
-      for (int j = 0; j < b.rows(); ++j) {
+      int j = 0;
+      for (; j + 4 <= b.rows(); j += 4) {
+        const double* b0 = b.Row(j);
+        const double* b1 = b.Row(j + 1);
+        const double* b2 = b.Row(j + 2);
+        const double* b3 = b.Row(j + 3);
+        double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+        for (int k = 0; k < a.cols(); ++k) {
+          const double av = arow[k];
+          d0 += av * b0[k];
+          d1 += av * b1[k];
+          d2 += av * b2[k];
+          d3 += av * b3[k];
+        }
+        crow[j] = d0;
+        crow[j + 1] = d1;
+        crow[j + 2] = d2;
+        crow[j + 3] = d3;
+      }
+      for (; j < b.rows(); ++j) {
         const double* brow = b.Row(j);
         double dot = 0.0;
         for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];

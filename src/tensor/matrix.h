@@ -73,11 +73,17 @@ class Matrix {
   double SquaredNorm() const;
 
  private:
-  void Allocate(int rows, int cols);
+  // Draws from the MatrixPool when pooling is enabled on this thread (see
+  // tensor/pool.h); `zero` is false only for paths that overwrite every
+  // entry immediately (copies).
+  void Allocate(int rows, int cols, bool zero = true);
   void Release();
 
   int rows_ = 0;
   int cols_ = 0;
+  // True when data_ came from the MatrixPool; Release() returns pooled
+  // buffers to the pool even if pooling has been switched off since.
+  bool pooled_ = false;
   double* data_ = nullptr;
 };
 

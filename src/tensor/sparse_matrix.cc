@@ -8,6 +8,46 @@
 #include "util/thread_pool.h"
 
 namespace ahg {
+namespace {
+
+// One CSR row times a dense block, register-blocked over the dense width:
+// four column accumulators live in registers across the row's entries, so
+// the output row is written once per block instead of read-modified per
+// entry. Each y[c] accumulates entries in ascending storage order — the
+// same per-element order as the naive entry-outer loop — so results are
+// bitwise identical to it. Shared by Spmm and SpmmRows.
+inline void SpmmRowKernel(const int64_t* row_ptr, int64_t r,
+                          const int* col_idx, const double* values,
+                          const Matrix& x, double* yrow) {
+  const int64_t e_begin = row_ptr[r];
+  const int64_t e_end = row_ptr[r + 1];
+  const int ncols = x.cols();
+  int c = 0;
+  for (; c + 4 <= ncols; c += 4) {
+    double y0 = 0.0, y1 = 0.0, y2 = 0.0, y3 = 0.0;
+    for (int64_t e = e_begin; e < e_end; ++e) {
+      const double v = values[e];
+      const double* xrow = x.Row(col_idx[e]) + c;
+      y0 += v * xrow[0];
+      y1 += v * xrow[1];
+      y2 += v * xrow[2];
+      y3 += v * xrow[3];
+    }
+    yrow[c] = y0;
+    yrow[c + 1] = y1;
+    yrow[c + 2] = y2;
+    yrow[c + 3] = y3;
+  }
+  for (; c < ncols; ++c) {
+    double acc = 0.0;
+    for (int64_t e = e_begin; e < e_end; ++e) {
+      acc += values[e] * x.Row(col_idx[e])[c];
+    }
+    yrow[c] = acc;
+  }
+}
+
+}  // namespace
 
 SparseMatrix SparseMatrix::BuildFromValidCoo(int rows, int cols,
                                              std::vector<CooEntry> entries) {
@@ -80,12 +120,8 @@ Matrix SparseMatrix::Spmm(const Matrix& x) const {
       rows_ > 0 ? std::max<int64_t>(1, nnz() / rows_) * x.cols() : 1;
   ParallelForChunked(rows_, work_per_row, [&](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
-      double* yrow = y.Row(static_cast<int>(r));
-      for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-        const double v = values_[i];
-        const double* xrow = x.Row(col_idx_[i]);
-        for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
-      }
+      SpmmRowKernel(row_ptr_.data(), r, col_idx_.data(), values_.data(), x,
+                    y.Row(static_cast<int>(r)));
     }
   });
   return y;
@@ -104,12 +140,8 @@ Matrix SparseMatrix::SpmmRows(const std::vector<int>& rows,
     for (int64_t i = begin; i < end; ++i) {
       const int r = rows[i];
       AHG_CHECK(r >= 0 && r < rows_);
-      double* yrow = y.Row(static_cast<int>(i));
-      for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-        const double v = values_[e];
-        const double* xrow = x.Row(col_idx_[e]);
-        for (int c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
-      }
+      SpmmRowKernel(row_ptr_.data(), r, col_idx_.data(), values_.data(), x,
+                    y.Row(static_cast<int>(i)));
     }
   });
   return y;

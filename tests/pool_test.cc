@@ -1,0 +1,334 @@
+// Memory-plane fast path: MatrixPool recycling, arena trimming,
+// AllocTracker accounting, fused-kernel bitwise identity and the
+// steady-state zero-allocation guarantee for training steps.
+#include "tensor/pool.h"
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "autodiff/ops.h"
+#include "graph/split.h"
+#include "graph/synthetic.h"
+#include "gtest/gtest.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "serve/inference_engine.h"
+#include "tasks/train_node.h"
+#include "tensor/alloc_tracker.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace ahg {
+namespace {
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(double)) == 0;
+}
+
+TEST(MatrixPoolTest, HitReturnsZeroedRecycledBuffer) {
+  ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/false);
+  const MatrixPoolStats before = MatrixPool::Global().Stats();
+  const double* first;
+  {
+    Matrix m(7, 13);
+    m.Fill(3.5);
+    first = m.data();
+  }
+  Matrix n(7, 13);  // same element count -> must recycle the same buffer
+  EXPECT_EQ(n.data(), first);
+  for (int64_t i = 0; i < n.size(); ++i) EXPECT_EQ(n.data()[i], 0.0);
+  const MatrixPoolStats after = MatrixPool::Global().Stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+}
+
+TEST(MatrixPoolTest, PooledBufferReturnsToPoolAfterFlagOff) {
+  Matrix m;
+  {
+    ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/false);
+    m = Matrix(5, 5);
+  }
+  // Pooling is off again, but the buffer is pool-origin: destroying the
+  // matrix must hand it back to the pool, not the heap.
+  const MatrixPoolStats before = MatrixPool::Global().Stats();
+  m = Matrix();
+  const MatrixPoolStats after = MatrixPool::Global().Stats();
+  EXPECT_EQ(after.released, before.released + 1);
+}
+
+TEST(MatrixPoolTest, ArenaTrimsBackToEntryWatermark) {
+  ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/false);
+  const int64_t idle_before = MatrixPool::Global().IdleBytes();
+  {
+    ScopedArena arena;
+    { Matrix big(64, 257); }  // an idle size no other test uses
+    EXPECT_GT(MatrixPool::Global().IdleBytes(), idle_before);
+  }
+  EXPECT_EQ(MatrixPool::Global().IdleBytes(), idle_before);
+}
+
+TEST(MatrixPoolTest, PoolHitsDoNotCountAsHeapAllocations) {
+  ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/false);
+  { Matrix warm(11, 17); }  // seed the bucket (may heap-allocate)
+  const int64_t count_before = AllocTracker::AllocationCount();
+  { Matrix hit(11, 17); }
+  EXPECT_EQ(AllocTracker::AllocationCount(), count_before);
+}
+
+TEST(MatrixPoolTest, ConcurrentAcquireReleaseAndCrossThreadFree) {
+  // Hammers the pool from several threads (TSan/ASan coverage) including
+  // buffers allocated on one thread and destroyed on another.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<Matrix> handoff(kThreads);
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([t, &handoff] {
+        ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/false);
+        for (int i = 0; i < kIters; ++i) {
+          Matrix a(3 + (i % 5), 8);
+          Matrix b(16, 16);
+          a.Fill(1.0);
+          b.Fill(2.0);
+        }
+        handoff[t] = Matrix(9, 9);  // destroyed by the main thread below
+        handoff[t].Fill(static_cast<double>(t));
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(handoff[t](0, 0), static_cast<double>(t));
+    handoff[t] = Matrix();  // cross-thread release
+  }
+}
+
+TEST(AllocTrackerTest, AllocationCountAndTotalBytesAreMonotonic) {
+  const int64_t count_before = AllocTracker::AllocationCount();
+  const int64_t total_before = AllocTracker::TotalAllocatedBytes();
+  { Matrix m(6, 10); }
+  EXPECT_EQ(AllocTracker::AllocationCount(), count_before + 1);
+  EXPECT_EQ(AllocTracker::TotalAllocatedBytes(),
+            total_before + 6 * 10 * static_cast<int64_t>(sizeof(double)));
+}
+
+TEST(AllocTrackerTest, ResetPeakLowersToCurrent) {
+  Matrix keep(4, 4);
+  { Matrix transient(128, 128); }
+  EXPECT_GT(AllocTracker::PeakBytes(), AllocTracker::CurrentBytes());
+  AllocTracker::ResetPeak();
+  EXPECT_EQ(AllocTracker::PeakBytes(), AllocTracker::CurrentBytes());
+}
+
+TEST(AllocTrackerTest, ResetPeakRaceKeepsPeakAboveCurrent) {
+  // Regression for the blind-store ResetPeak: concurrent Add/Remove while
+  // another thread resets must never leave peak < current.
+  std::atomic<bool> stop{false};
+  std::thread churn([&stop] {
+    while (!stop.load()) {
+      Matrix a(32, 32);
+      Matrix b(64, 64);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    AllocTracker::ResetPeak();
+    EXPECT_GE(AllocTracker::PeakBytes(), 0);
+  }
+  stop.store(true);
+  churn.join();
+  EXPECT_GE(AllocTracker::PeakBytes(), AllocTracker::CurrentBytes());
+}
+
+TEST(FusedOpsTest, LinearReluMatchesUnfusedChainBitwise) {
+  Rng rng(11);
+  for (bool with_bias : {true, false}) {
+    Matrix xv = Matrix::Gaussian(9, 6, 1.0, &rng);
+    Matrix wv = Matrix::Gaussian(6, 5, 1.0, &rng);
+    Matrix bv = Matrix::Gaussian(1, 5, 1.0, &rng);
+
+    auto run = [&](bool fused) {
+      Var x = MakeParam(xv);
+      Var w = MakeParam(wv);
+      Var b = with_bias ? MakeParam(bv) : Var();
+      Var out;
+      if (fused) {
+        out = LinearRelu(x, w, b);
+      } else {
+        Var pre = MatMul(x, w);
+        if (b) pre = AddRowVector(pre, b);
+        out = Relu(pre);
+      }
+      Backward(SumAll(out));
+      std::vector<Matrix> r = {out->value, x->grad, w->grad};
+      if (b) r.push_back(b->grad);
+      return r;
+    };
+
+    const std::vector<Matrix> unfused = run(false);
+    const std::vector<Matrix> fused = run(true);
+    ASSERT_EQ(unfused.size(), fused.size());
+    for (size_t i = 0; i < unfused.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(unfused[i], fused[i]))
+          << "with_bias=" << with_bias << " tensor " << i;
+    }
+  }
+}
+
+TEST(FusedOpsTest, MaskedCrossEntropyFusionIsBitwiseIdentical) {
+  Rng rng(5);
+  Matrix logits_v = Matrix::Gaussian(20, 4, 1.5, &rng);
+  std::vector<int> labels(20);
+  for (int i = 0; i < 20; ++i) labels[i] = i % 4;
+  std::vector<int> mask = {0, 3, 7, 11, 19};
+
+  auto run = [&](bool fusion) {
+    ScopedMemPlane plane(/*pooling=*/false, fusion);
+    Var logits = MakeParam(logits_v);
+    Var loss = MaskedCrossEntropy(logits, labels, mask);
+    Backward(loss);
+    return std::vector<Matrix>{loss->value, logits->grad};
+  };
+
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_TRUE(BitwiseEqual(off[0], on[0]));
+  EXPECT_TRUE(BitwiseEqual(off[1], on[1]));
+}
+
+Graph SmallGraph(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 10;
+  cfg.avg_degree = 4.0;
+  cfg.homophily = 0.8;
+  cfg.feature_signal = 1.0;
+  cfg.seed = seed;
+  return GenerateSbmGraph(cfg);
+}
+
+ModelConfig ZooConfig(ModelFamily family) {
+  ModelConfig cfg;
+  cfg.family = family;
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.3;
+  cfg.seed = 2;
+  return cfg;
+}
+
+// Training with pooling + fusion on must reproduce the plain run bitwise,
+// for every exercised zoo family and across kernel thread counts.
+TEST(MemPlaneBitwiseTest, TrainedProbsIdenticalAcrossPoolFusionAndThreads) {
+  const Graph g = SmallGraph(21);
+  Rng rng(4);
+  DataSplit split = RandomSplit(g, 0.5, 0.2, &rng);
+  const ModelFamily families[] = {ModelFamily::kGcn,   ModelFamily::kMlp,
+                                  ModelFamily::kTagcn, ModelFamily::kGin,
+                                  ModelFamily::kGcnii, ModelFamily::kJkMax};
+  for (ModelFamily family : families) {
+    TrainConfig base;
+    base.max_epochs = 6;
+    base.patience = 6;
+    base.seed = 9;
+    base.num_threads = 1;
+    const NodeTrainResult plain =
+        TrainSingleNodeModel(ZooConfig(family), g, split, base);
+    for (int threads : {1, 2, 4}) {
+      TrainConfig fast = base;
+      fast.pooling = true;
+      fast.fusion = true;
+      fast.num_threads = threads;
+      const NodeTrainResult pooled =
+          TrainSingleNodeModel(ZooConfig(family), g, split, fast);
+      EXPECT_TRUE(BitwiseEqual(plain.probs, pooled.probs))
+          << ModelFamilyName(family) << " threads=" << threads;
+      EXPECT_EQ(plain.best_epoch, pooled.best_epoch)
+          << ModelFamilyName(family) << " threads=" << threads;
+    }
+  }
+}
+
+// The frozen serving forward (inference mode: fused + in-place elementwise)
+// must also be bitwise identical with the memory plane on.
+TEST(MemPlaneBitwiseTest, ServedProbsIdenticalWithPoolingAndFusion) {
+  const Graph g = SmallGraph(33);
+  const ModelFamily families[] = {ModelFamily::kGcn, ModelFamily::kTagcn,
+                                  ModelFamily::kGin, ModelFamily::kGcnii,
+                                  ModelFamily::kGatedGnn, ModelFamily::kArma};
+  for (ModelFamily family : families) {
+    serve::ServableModel model;
+    model.version = 1;
+    model.num_classes = g.num_classes();
+    model.config = ZooConfig(family);
+    model.config.in_dim = g.feature_dim();
+    std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
+    Rng head_rng(7);
+    Linear head(zoo->params(), model.config.hidden_dim, model.num_classes,
+                /*bias=*/true, &head_rng);
+    model.params = zoo->params()->Snapshot();
+
+    serve::EngineOptions plain_opts;
+    serve::InferenceEngine plain(&g, plain_opts);
+    serve::EngineOptions fast_opts;
+    fast_opts.pooling = true;
+    fast_opts.fusion = true;
+    serve::InferenceEngine fast(&g, fast_opts);
+
+    auto a = plain.PredictAll(model);
+    auto b = fast.PredictAll(model);
+    ASSERT_TRUE(a.ok() && b.ok()) << ModelFamilyName(family);
+    EXPECT_TRUE(BitwiseEqual(a.value(), b.value())) << ModelFamilyName(family);
+  }
+}
+
+// The acceptance bar for the memory plane: after warm-up, a full GCN train
+// step (forward, loss, backward, Adam) performs zero tensor heap
+// allocations — every buffer is a pool hit.
+TEST(MemPlaneSteadyStateTest, GcnTrainStepAllocatesNothingAfterWarmup) {
+  const Graph g = SmallGraph(55);
+  Rng split_rng(3);
+  DataSplit split = RandomSplit(g, 0.5, 0.2, &split_rng);
+
+  ScopedMemPlane plane(/*pooling=*/true, /*fusion=*/true);
+  ScopedArena arena;
+
+  ModelConfig cfg = ZooConfig(ModelFamily::kGcn);
+  cfg.in_dim = g.feature_dim();
+  std::unique_ptr<GnnModel> model = BuildModel(cfg);
+  Rng init_rng(cfg.seed ^ 0x9e3779b9ULL);
+  Linear head(model->params(), cfg.hidden_dim, g.num_classes(),
+              /*bias=*/true, &init_rng);
+  Adam optimizer(model->params()->params(), AdamConfig{});
+  Rng dropout_rng(17);
+  Var features = MakeConstant(g.features());
+
+  auto step = [&] {
+    model->params()->ZeroGrad();
+    GnnContext ctx;
+    ctx.graph = &g;
+    ctx.training = true;
+    ctx.rng = &dropout_rng;
+    Var logits = head.Apply(model->LayerOutputs(ctx, features).back());
+    Var loss = MaskedCrossEntropy(logits, g.labels(), split.train);
+    Backward(loss);
+    optimizer.Step();
+  };
+
+  for (int i = 0; i < 3; ++i) step();  // warm the pool + Adam state
+  const int64_t allocs_before = AllocTracker::AllocationCount();
+  const MatrixPoolStats pool_before = MatrixPool::Global().Stats();
+  for (int i = 0; i < 2; ++i) step();
+  EXPECT_EQ(AllocTracker::AllocationCount(), allocs_before)
+      << "steady-state train step hit the heap";
+  const MatrixPoolStats pool_after = MatrixPool::Global().Stats();
+  EXPECT_EQ(pool_after.misses, pool_before.misses);
+  EXPECT_GT(pool_after.hits, pool_before.hits);
+}
+
+}  // namespace
+}  // namespace ahg
