@@ -1,0 +1,406 @@
+// Fabric load bench: a seeded, deterministic traffic simulator driving the
+// sharded serving fabric, reporting a GNNBENCH-style JSON artifact.
+//
+// Phases, per shard count (default {1, 2, 4}; --shards N runs {1, N}):
+//   conformance  a node sample served through the fabric must be bitwise
+//                identical to a single unsharded InferenceEngine — always
+//                asserted; any mismatch exits non-zero so CI gates on it
+//   closed loop  K clients issue think-time-0 queries back to back for a
+//                fixed wall-clock window: completed / elapsed = the
+//                fabric's saturation QPS at that shard count
+//   open loop    the simulator's nonhomogeneous Poisson schedule (zipfian
+//                node popularity, diurnal sinusoid, burst windows) is
+//                replayed on the wall clock; per-shard p50/p99 latency,
+//                cache hit rate and router shed counts are reported
+//
+// The scaling ratio (saturation at N shards / at 1 shard) is always
+// reported; --assert-scaling additionally fails the run when the largest
+// shard count does not reach >= 2x — opt-in because the bound is only
+// meaningful on a multi-core host (CI smoke runs are single-core).
+//
+// Usage: fabric_load [--fast] [--shards N] [--json-out FILE]
+//                    [--assert-scaling] [--trace-out F] [--metrics-out F]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "fabric/fabric.h"
+#include "fabric/loadgen.h"
+#include "graph/synthetic.h"
+#include "nn/linear.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace ahg::fabric {
+namespace {
+
+struct ShardReport {
+  int shard = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  int64_t completed = 0;
+};
+
+struct RunReport {
+  int shards = 0;
+  double saturation_qps = 0.0;
+  double scaling = 1.0;           // vs the 1-shard run
+  double offered_qps = 0.0;       // open-loop envelope average
+  int64_t open_completed = 0;
+  int64_t open_shed = 0;
+  std::vector<ShardReport> per_shard;
+};
+
+FabricOptions MakeFabricOptions(int shards) {
+  FabricOptions options;
+  options.num_shards = shards;
+  options.batcher.max_batch_size = 16;
+  options.batcher.deadline_ms = 0.0;  // latency is measured, not enforced
+  options.batcher.max_queue_delay_ms = 1.0;
+  options.batcher.num_threads = 1;
+  options.router_queue_limit = 512;
+  return options;
+}
+
+// Serves `graph` at `shards` shards and verifies a sampled node set against
+// the reference rows bitwise. Returns false on any mismatch.
+bool CheckConformance(const Graph& graph, const serve::ModelRegistry& registry,
+                      const Matrix& reference, int shards, int sample,
+                      uint64_t seed) {
+  ServingFabric fabric(MakeFabricOptions(shards));
+  if (!fabric.ServeGraph(&graph, &registry).ok()) return false;
+  Rng rng(seed);
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<size_t>(sample));
+  for (int i = 0; i < sample; ++i) {
+    nodes.push_back(static_cast<int>(rng.UniformInt(graph.num_nodes())));
+  }
+  std::vector<std::future<serve::QueryResult>> futures;
+  futures.reserve(nodes.size());
+  for (int node : nodes) futures.push_back(fabric.Query(node));
+  fabric.Drain();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    serve::QueryResult result = futures[i].get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "conformance query failed: %s\n",
+                   result.status.ToString().c_str());
+      return false;
+    }
+    if (static_cast<int>(result.probs.size()) != reference.cols() ||
+        std::memcmp(result.probs.data(), reference.Row(nodes[i]),
+                    result.probs.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "conformance MISMATCH: shards=%d node=%d is not bitwise "
+                   "identical to the single-engine reference\n",
+                   shards, nodes[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Closed loop: `clients` threads issue think-time-0 queries for `seconds`.
+double MeasureSaturation(ServingFabric* fabric, TrafficSimulator* sim,
+                         int clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  Stopwatch watch;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([fabric, sim, c, &stop, &completed] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Arrival query = sim->NextQuery(c);
+        if (fabric->Query(query.node).get().status.ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  fabric->Drain();
+  return static_cast<double>(completed.load()) / watch.ElapsedSeconds();
+}
+
+// Open loop: replay the simulator's schedule on the wall clock.
+void ReplayOpenLoop(ServingFabric* fabric, const TrafficSimulator& sim,
+                    RunReport* report) {
+  const std::vector<Arrival> schedule = sim.OpenLoopSchedule();
+  std::vector<std::future<serve::QueryResult>> futures;
+  futures.reserve(schedule.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const Arrival& arrival : schedule) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration<double, std::milli>(arrival.time_ms));
+    futures.push_back(fabric->Query(arrival.node));
+  }
+  fabric->Drain();
+  for (auto& future : futures) {
+    const serve::QueryResult result = future.get();
+    if (result.status.ok()) {
+      ++report->open_completed;
+    } else if (result.status.code() == Status::Code::kResourceExhausted) {
+      ++report->open_shed;
+    }
+  }
+}
+
+std::string JsonReport(const SyntheticConfig& cfg, bool fast, uint64_t seed,
+                       const TrafficOptions& traffic,
+                       const std::vector<int>& shard_counts,
+                       int conformance_sample, bool conformance_pass,
+                       const std::vector<RunReport>& runs,
+                       bool scaling_asserted, double scaling_required) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"fabric_load\",\n";
+  json += "  \"schema_version\": 1,\n";
+  json += StrFormat(
+      "  \"config\": {\"num_nodes\": %d, \"feature_dim\": %d, "
+      "\"num_classes\": %d, \"fast\": %s, \"seed\": %llu, "
+      "\"zipf_exponent\": %.3f, \"base_qps\": %.1f, \"duration_s\": %.3f, "
+      "\"burst_multiplier\": %.2f, \"shard_counts\": [",
+      cfg.num_nodes, cfg.feature_dim, cfg.num_classes, fast ? "true" : "false",
+      static_cast<unsigned long long>(seed), traffic.zipf_exponent,
+      traffic.base_qps, traffic.duration_s, traffic.burst_multiplier);
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    json += (i ? ", " : "") + std::to_string(shard_counts[i]);
+  }
+  json += "]},\n";
+  json += StrFormat(
+      "  \"conformance\": {\"checked_nodes\": %d, \"bitwise_identical\": "
+      "%s},\n",
+      conformance_sample, conformance_pass ? "true" : "false");
+  json += "  \"runs\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const RunReport& run = runs[r];
+    json += StrFormat(
+        "    {\"shards\": %d, \"saturation_qps\": %.1f, "
+        "\"scaling_vs_one_shard\": %.3f, \"open_loop\": {\"offered_qps\": "
+        "%.1f, \"completed\": %lld, \"shed\": %lld}, \"per_shard\": [",
+        run.shards, run.saturation_qps, run.scaling, run.offered_qps,
+        static_cast<long long>(run.open_completed),
+        static_cast<long long>(run.open_shed));
+    for (size_t s = 0; s < run.per_shard.size(); ++s) {
+      const ShardReport& shard = run.per_shard[s];
+      json += StrFormat(
+          "%s{\"shard\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"cache_hit_rate\": %.4f, \"completed\": %lld}",
+          s ? ", " : "", shard.shard, shard.p50_ms, shard.p99_ms,
+          shard.cache_hit_rate, static_cast<long long>(shard.completed));
+    }
+    json += "]}";
+    json += (r + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"assertions\": {\"conformance_pass\": %s, \"scaling_asserted\": "
+      "%s, \"scaling_required\": %.1f, \"scaling_measured\": %.3f}\n",
+      conformance_pass ? "true" : "false", scaling_asserted ? "true" : "false",
+      scaling_required, runs.empty() ? 0.0 : runs.back().scaling);
+  json += "}\n";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  const bool fast = ahg::bench::FastMode(argc, argv);
+  const ahg::bench::ObsFlags obs_flags = ahg::bench::ParseObsFlags(argc, argv);
+  int shards_flag = 0;
+  std::string json_out;
+  bool assert_scaling = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_flag = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--assert-scaling") == 0) {
+      assert_scaling = true;
+    }
+  }
+  std::vector<int> shard_counts = {1, 2, 4};
+  if (shards_flag > 0) {
+    shard_counts = {1};
+    if (shards_flag != 1) shard_counts.push_back(shards_flag);
+  }
+
+  SyntheticConfig cfg;
+  cfg.name = "fabric-bench";
+  cfg.num_nodes = fast ? 2000 : 50000;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 32;
+  cfg.avg_degree = 6.0;
+  cfg.seed = 7;
+  Graph graph = GenerateSbmGraph(cfg);
+
+  ModelConfig model_cfg;
+  model_cfg.family = ModelFamily::kGcn;
+  model_cfg.in_dim = graph.feature_dim();
+  model_cfg.hidden_dim = 32;
+  model_cfg.num_layers = 2;
+  model_cfg.seed = 11;
+  std::unique_ptr<GnnModel> zoo = BuildModel(model_cfg);
+  Rng head_rng(model_cfg.seed ^ 0x5ca1ab1eULL);
+  Linear head(zoo->params(), model_cfg.hidden_dim, graph.num_classes(),
+              /*bias=*/true, &head_rng);
+
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp ? tmp : "/tmp") + "/fabric_load_registry";
+  std::filesystem::remove_all(dir);
+  if (!serve::ModelRegistry::Publish(dir, 1, model_cfg,
+                                     zoo->params()->Snapshot(),
+                                     graph.num_classes())
+           .ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+  serve::ModelRegistry registry(dir);
+  if (!registry.Refresh().ok() ||
+      !registry.ValidateCompatibility(graph).ok()) {
+    std::fprintf(stderr, "registry load failed\n");
+    return 1;
+  }
+
+  // Single-engine reference rows for the conformance gate.
+  serve::InferenceEngine reference(&graph, serve::EngineOptions{});
+  auto reference_probs = reference.PredictAll(*registry.Active());
+  if (!reference_probs.ok()) {
+    std::fprintf(stderr, "reference forward failed\n");
+    return 1;
+  }
+
+  const uint64_t seed = 29;
+  const int conformance_sample = fast ? 200 : 500;
+  bool conformance_pass = true;
+  for (int shards : shard_counts) {
+    if (!CheckConformance(graph, registry, reference_probs.value(), shards,
+                          conformance_sample, seed)) {
+      conformance_pass = false;
+    }
+  }
+
+  TrafficOptions traffic;
+  traffic.seed = seed;
+  traffic.num_nodes = graph.num_nodes();
+  traffic.zipf_exponent = 0.99;
+  traffic.duration_s = fast ? 0.5 : 2.0;
+  traffic.base_qps = fast ? 800.0 : 2000.0;
+  traffic.diurnal_amplitude = 0.5;
+  traffic.diurnal_period_s = traffic.duration_s;
+  traffic.burst_multiplier = 2.0;
+  traffic.burst_fraction = 0.2;
+  traffic.num_bursts = 2;
+  traffic.closed_loop_clients = 4;
+
+  const double closed_seconds = fast ? 0.4 : 2.0;
+  std::vector<RunReport> runs;
+  for (int shards : shard_counts) {
+    TrafficSimulator sim(traffic);
+    ServingFabric fabric(MakeFabricOptions(shards));
+    if (!fabric.ServeGraph(&graph, &registry).ok()) return 1;
+    // Rollout(1) warms every shard's propagation product, so both phases
+    // measure steady state instead of the one-time precompute.
+    if (!fabric.Rollout(1).ok()) return 1;
+
+    RunReport report;
+    report.shards = shards;
+    report.saturation_qps = MeasureSaturation(
+        &fabric, &sim, traffic.closed_loop_clients, closed_seconds);
+    report.scaling =
+        runs.empty() ? 1.0 : report.saturation_qps / runs[0].saturation_qps;
+
+    // Latency phase starts from clean per-shard counters.
+    for (int s = 0; s < shards; ++s) fabric.shard(s).stats().Reset();
+    ReplayOpenLoop(&fabric, sim, &report);
+    report.offered_qps = sim.ExpectedOpenLoopArrivals() / traffic.duration_s;
+    for (int s = 0; s < shards; ++s) {
+      const serve::ServeStatsSnapshot snap =
+          fabric.shard(s).stats().Snapshot();
+      ShardReport shard_report;
+      shard_report.shard = s;
+      shard_report.p50_ms = snap.p50_latency_ms;
+      shard_report.p99_ms = snap.p99_latency_ms;
+      const int64_t lookups = snap.cache_hits + snap.cache_misses;
+      shard_report.cache_hit_rate =
+          lookups > 0 ? static_cast<double>(snap.cache_hits) / lookups : 0.0;
+      shard_report.completed = snap.completed;
+      report.per_shard.push_back(shard_report);
+    }
+    runs.push_back(std::move(report));
+  }
+
+  ahg::bench::TablePrinter table({"shards", "saturation_qps", "scaling",
+                                  "open_completed", "open_shed", "p50_ms",
+                                  "p99_ms", "hit_rate"});
+  for (const RunReport& run : runs) {
+    double p50 = 0.0, p99 = 0.0, hit = 0.0;
+    for (const ShardReport& s : run.per_shard) {
+      p50 = std::max(p50, s.p50_ms);
+      p99 = std::max(p99, s.p99_ms);
+      hit += s.cache_hit_rate;
+    }
+    if (!run.per_shard.empty()) hit /= static_cast<double>(run.per_shard.size());
+    table.AddRow({std::to_string(run.shards),
+                  StrFormat("%.1f", run.saturation_qps),
+                  StrFormat("%.2fx", run.scaling),
+                  std::to_string(run.open_completed),
+                  std::to_string(run.open_shed), StrFormat("%.4f", p50),
+                  StrFormat("%.4f", p99), StrFormat("%.3f", hit)});
+  }
+  table.Print();
+  std::printf("\nconformance (bitwise vs single engine, %d nodes x %zu "
+              "shard counts): %s\n",
+              conformance_sample, shard_counts.size(),
+              conformance_pass ? "PASS" : "FAIL");
+
+  const double scaling_required = 2.0;
+  const std::string json = JsonReport(
+      cfg, fast, seed, traffic, shard_counts, conformance_sample,
+      conformance_pass, runs, assert_scaling, scaling_required);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (!ahg::bench::FlushObsOutputs(obs_flags)) return 1;
+
+  if (!conformance_pass) {
+    std::fprintf(stderr, "FAIL: sharded serving is not bitwise conformant\n");
+    return 1;
+  }
+  if (assert_scaling && !runs.empty() &&
+      runs.back().scaling < scaling_required) {
+    std::fprintf(stderr,
+                 "FAIL: %d-shard saturation scaling %.2fx below the "
+                 "required %.1fx (run on a multi-core host)\n",
+                 runs.back().shards, runs.back().scaling, scaling_required);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ahg::fabric
+
+int main(int argc, char** argv) { return ahg::fabric::Main(argc, argv); }

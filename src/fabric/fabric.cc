@@ -1,0 +1,193 @@
+#include "fabric/fabric.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ahg::fabric {
+
+ServingFabric::ServingFabric(const FabricOptions& options)
+    : options_(options),
+      ring_(options.virtual_nodes),
+      m_routed_(obs::MetricsRegistry::Global().GetCounter("fabric.routed")),
+      m_shed_(obs::MetricsRegistry::Global().GetCounter("fabric.shed")),
+      m_rollouts_(
+          obs::MetricsRegistry::Global().GetCounter("fabric.rollouts")) {
+  AHG_CHECK_GT(options.num_shards, 0);
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    ring_.AddShard(s);
+    shards_.push_back(
+        std::make_unique<EngineShard>(s, options.shard_cache_byte_budget));
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("fabric.shards")
+      ->Set(static_cast<double>(options.num_shards));
+}
+
+ServingFabric::~ServingFabric() { Drain(); }
+
+namespace {
+
+// Batcher options whose per-batch model resolution honors the fleet pin.
+serve::BatcherOptions ResolverPinnedBatcherOptions(
+    const serve::BatcherOptions& base, const serve::ModelRegistry* registry,
+    const std::atomic<int>* pin) {
+  serve::BatcherOptions options = base;
+  options.model_resolver =
+      [registry, pin]() -> std::shared_ptr<const serve::ServableModel> {
+    const int version = pin->load(std::memory_order_acquire);
+    if (version > 0) {
+      // A pinned version that disappeared from the registry is an
+      // operator error; fail the batch (nullptr -> NotFound) rather than
+      // silently serving whatever Active() resolves to.
+      return registry->Version(version);
+    }
+    return registry->Active();
+  };
+  return options;
+}
+
+}  // namespace
+
+Status ServingFabric::ServeGraph(const Graph* graph,
+                                 const serve::ModelRegistry* registry) {
+  if (multi_tenant_) {
+    return Status::InvalidArgument(
+        "ServeGraph: fabric already hosts tenant graphs");
+  }
+  if (single_graph_) {
+    return Status::InvalidArgument("ServeGraph: already serving a graph");
+  }
+  for (auto& shard : shards_) {
+    Status added = shard->AddTenant(
+        kDefaultTenant, graph, registry, options_.engine,
+        ResolverPinnedBatcherOptions(options_.batcher, registry,
+                                     &pinned_version_));
+    if (!added.ok()) return added;
+  }
+  single_graph_ = true;
+  return Status::OK();
+}
+
+Status ServingFabric::AddTenant(const std::string& tenant, const Graph* graph,
+                                const serve::ModelRegistry* registry) {
+  if (single_graph_) {
+    return Status::InvalidArgument(
+        "AddTenant: fabric already serves a single replicated graph");
+  }
+  if (tenant == kDefaultTenant) {
+    return Status::InvalidArgument(
+        StrFormat("AddTenant: '%s' is reserved", kDefaultTenant));
+  }
+  const int shard_id = ring_.ShardForKey(tenant);
+  Status added = shards_[shard_id]->AddTenant(
+      tenant, graph, registry, options_.engine,
+      ResolverPinnedBatcherOptions(options_.batcher, registry,
+                                   &pinned_version_));
+  if (!added.ok()) return added;
+  multi_tenant_ = true;
+  return Status::OK();
+}
+
+Status ServingFabric::AttachStream(const std::string& tenant,
+                                   dyn::StreamingServer* stream) {
+  return shards_[ring_.ShardForKey(tenant)]->AttachStream(tenant, stream);
+}
+
+std::future<serve::QueryResult> ServingFabric::FailedFuture(Status status) {
+  std::promise<serve::QueryResult> promise;
+  serve::QueryResult result;
+  result.status = std::move(status);
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+std::future<serve::QueryResult> ServingFabric::Route(
+    int shard_id, const std::string& tenant, int node, double deadline_ms) {
+  EngineShard& shard = *shards_[shard_id];
+  if (!shard.HasTenant(tenant)) {
+    return FailedFuture(Status::NotFound(
+        StrFormat("no tenant '%s' on shard %d", tenant.c_str(), shard_id)));
+  }
+  if (options_.router_queue_limit > 0 &&
+      shard.queue_depth() >= options_.router_queue_limit) {
+    m_shed_->Increment();
+    shard.stats().RecordRejected();
+    return FailedFuture(Status::ResourceExhausted(
+        StrFormat("shard %d at router queue limit %d", shard_id,
+                  options_.router_queue_limit)));
+  }
+  m_routed_->Increment();
+  return shard.Enqueue(tenant, node, deadline_ms);
+}
+
+std::future<serve::QueryResult> ServingFabric::Query(int node,
+                                                     double deadline_ms) {
+  if (!single_graph_) {
+    return FailedFuture(Status::InvalidArgument(
+        "Query: fabric is not in single-graph mode (use QueryTenant)"));
+  }
+  return Route(ring_.ShardForNode(node), kDefaultTenant, node, deadline_ms);
+}
+
+std::future<serve::QueryResult> ServingFabric::QueryTenant(
+    const std::string& tenant, int node, double deadline_ms) {
+  return Route(ring_.ShardForKey(tenant), tenant, node, deadline_ms);
+}
+
+Status ServingFabric::Rollout(int version) {
+  if (version <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("Rollout: version %d must be positive", version));
+  }
+  // Prepare: every shard must be able to serve `version` before any shard
+  // flips. Warm failures abort with no observable change anywhere.
+  if (options_.warm_on_rollout) {
+    for (auto& shard : shards_) {
+      Status warmed = shard->WarmVersion(version);
+      if (!warmed.ok()) return warmed;
+    }
+  }
+  // Commit: one atomic store. Every batch resolves the pin exactly once,
+  // so no batch mixes versions and no shard can lag once this returns.
+  pinned_version_.store(version, std::memory_order_release);
+  m_rollouts_->Increment();
+  return Status::OK();
+}
+
+StatusOr<uint64_t> ServingFabric::SubmitMutation(const std::string& tenant,
+                                                 dyn::Mutation mutation) {
+  dyn::StreamingServer* stream =
+      shards_[ring_.ShardForKey(tenant)]->stream(tenant);
+  if (stream == nullptr) {
+    return Status::NotFound(
+        StrFormat("SubmitMutation: no stream attached for tenant '%s'",
+                  tenant.c_str()));
+  }
+  return stream->Submit(std::move(mutation));
+}
+
+Status ServingFabric::PublishStream(const std::string& tenant) {
+  EngineShard& shard = *shards_[ring_.ShardForKey(tenant)];
+  dyn::StreamingServer* stream = shard.stream(tenant);
+  if (stream == nullptr) {
+    return Status::NotFound(
+        StrFormat("PublishStream: no stream attached for tenant '%s'",
+                  tenant.c_str()));
+  }
+  StatusOr<dyn::RefreshStats> applied = stream->ApplyPending();
+  if (!applied.ok()) return applied.status();
+  return shard.PublishStream(tenant);
+}
+
+void ServingFabric::Flush() {
+  for (auto& shard : shards_) shard->Flush();
+}
+
+void ServingFabric::Drain() {
+  for (auto& shard : shards_) shard->Drain();
+}
+
+}  // namespace ahg::fabric

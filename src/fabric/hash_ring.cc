@@ -1,0 +1,87 @@
+#include "fabric/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ahg::fabric {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t StableHash64(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = kFnvOffset;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return SplitMix64(hash);
+}
+
+uint64_t StableHash64(const std::string& key) {
+  return StableHash64(key.data(), key.size());
+}
+
+uint64_t StableHash64(int64_t key) {
+  // Value-based (not byte-based), so the result is endian-independent.
+  return SplitMix64(static_cast<uint64_t>(key) ^ 0x517cc1b727220a95ULL);
+}
+
+ConsistentHashRing::ConsistentHashRing(int virtual_nodes)
+    : virtual_nodes_(std::max(1, virtual_nodes)) {}
+
+void ConsistentHashRing::AddShard(int shard_id) {
+  AHG_CHECK_GE(shard_id, 0);
+  AHG_CHECK(!std::binary_search(shards_.begin(), shards_.end(), shard_id));
+  shards_.insert(
+      std::lower_bound(shards_.begin(), shards_.end(), shard_id), shard_id);
+  ring_.reserve(ring_.size() + static_cast<size_t>(virtual_nodes_));
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    const std::string point = StrFormat("shard-%d#%d", shard_id, v);
+    const std::pair<uint64_t, int> entry(StableHash64(point), shard_id);
+    ring_.insert(std::lower_bound(ring_.begin(), ring_.end(), entry), entry);
+  }
+}
+
+bool ConsistentHashRing::RemoveShard(int shard_id) {
+  auto it = std::lower_bound(shards_.begin(), shards_.end(), shard_id);
+  if (it == shards_.end() || *it != shard_id) return false;
+  shards_.erase(it);
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard_id](const std::pair<uint64_t, int>& p) {
+                               return p.second == shard_id;
+                             }),
+              ring_.end());
+  return true;
+}
+
+int ConsistentHashRing::ShardForHash(uint64_t hash) const {
+  AHG_CHECK(!ring_.empty());
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const std::pair<uint64_t, int>& p, uint64_t h) { return p.first < h; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+int ConsistentHashRing::ShardForKey(const std::string& key) const {
+  return ShardForHash(StableHash64(key));
+}
+
+int ConsistentHashRing::ShardForNode(int64_t node) const {
+  return ShardForHash(StableHash64(node));
+}
+
+}  // namespace ahg::fabric

@@ -1,0 +1,69 @@
+// Consistent-hash ring routing query traffic over engine shards.
+//
+// Each shard projects `virtual_nodes` points onto a 64-bit ring; a key is
+// routed to the shard owning the first ring point at or after the key's
+// hash (wrapping). Virtual nodes smooth the per-shard key share toward
+// K/N, and consistency bounds the churn of topology changes: adding a
+// shard to an N-shard ring reclaims only the key ranges that fall to the
+// new shard's points — in expectation K/(N+1) keys move and every other
+// key keeps its shard (tests/fabric_test.cc proves both properties).
+//
+// Hashing is a fixed FNV-1a / splitmix64 pipeline with no platform- or
+// process-dependent state, so a routing table is reproducible across runs,
+// machines, and thread counts — a prerequisite for the fabric's bitwise
+// conformance argument (DESIGN.md "Sharded serving fabric").
+#ifndef AUTOHENS_FABRIC_HASH_RING_H_
+#define AUTOHENS_FABRIC_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ahg::fabric {
+
+// Stable 64-bit hash of an arbitrary byte string (FNV-1a core, splitmix64
+// finalizer for avalanche). Deterministic across platforms.
+uint64_t StableHash64(const void* data, size_t size);
+uint64_t StableHash64(const std::string& key);
+
+// Stable 64-bit mix of an integer key (node ids), endian-independent.
+uint64_t StableHash64(int64_t key);
+
+class ConsistentHashRing {
+ public:
+  // `virtual_nodes` ring points per shard (clamped to >= 1).
+  explicit ConsistentHashRing(int virtual_nodes = 64);
+
+  // Adds shard `shard_id` (>= 0, not already present) to the ring.
+  void AddShard(int shard_id);
+
+  // Removes `shard_id`; returns false when it was not on the ring.
+  bool RemoveShard(int shard_id);
+
+  // Shard owning `key`. The ring must be non-empty. Pure function of the
+  // ring contents — safe to call concurrently with other lookups.
+  int ShardForKey(const std::string& key) const;
+
+  // Shard owning integer key `node` (node-id routing in single-graph mode).
+  int ShardForNode(int64_t node) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+  // Shard ids, ascending.
+  std::vector<int> shard_ids() const { return shards_; }
+
+ private:
+  int ShardForHash(uint64_t hash) const;
+
+  int virtual_nodes_;
+  std::vector<int> shards_;  // sorted shard ids
+  // Ring points sorted by hash; ties broken by shard id (insertion keeps
+  // the vector sorted, so lookups are one binary search).
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace ahg::fabric
+
+#endif  // AUTOHENS_FABRIC_HASH_RING_H_

@@ -1,0 +1,174 @@
+#include "fabric/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ahg::fabric {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+ZipfianSampler::ZipfianSampler(int num_items, double exponent) {
+  AHG_CHECK_GT(num_items, 0);
+  AHG_CHECK(exponent >= 0.0);
+  cdf_.resize(static_cast<size_t>(num_items));
+  double total = 0.0;
+  for (int k = 0; k < num_items; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfianSampler::Sample(Rng* rng) const {
+  const double u = rng->Uniform();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double ZipfianSampler::Probability(int rank) const {
+  AHG_CHECK(rank >= 0 && rank < num_items());
+  const size_t k = static_cast<size_t>(rank);
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+TrafficSimulator::TrafficSimulator(const TrafficOptions& options)
+    : options_(options),
+      zipf_(options.num_nodes, options.zipf_exponent) {
+  AHG_CHECK_GT(options.duration_s, 0.0);
+  AHG_CHECK(options.base_qps >= 0.0);
+  AHG_CHECK(options.diurnal_amplitude >= 0.0 &&
+            options.diurnal_amplitude < 1.0);
+  AHG_CHECK_GT(options.diurnal_period_s, 0.0);
+  AHG_CHECK(options.burst_multiplier >= 1.0);
+  AHG_CHECK(options.burst_fraction >= 0.0 && options.burst_fraction < 1.0);
+
+  if (!options.tenant_weights.empty()) {
+    double total = 0.0;
+    for (double w : options.tenant_weights) {
+      AHG_CHECK(w >= 0.0);
+      total += w;
+    }
+    AHG_CHECK_GT(total, 0.0);
+    tenant_cdf_.reserve(options.tenant_weights.size());
+    double acc = 0.0;
+    for (double w : options.tenant_weights) {
+      acc += w / total;
+      tenant_cdf_.push_back(acc);
+    }
+    tenant_cdf_.back() = 1.0;
+  }
+
+  // Burst windows: equal-length, placed uniformly at random (from a
+  // dedicated fork so adding bursts never perturbs the arrival draws),
+  // then clipped and merged if they overlap.
+  if (options.burst_multiplier > 1.0 && options.burst_fraction > 0.0 &&
+      options.num_bursts > 0) {
+    Rng seeder(options.seed);
+    Rng burst_rng = seeder.Fork();
+    const double window_s =
+        options.burst_fraction * options.duration_s / options.num_bursts;
+    std::vector<double> starts;
+    starts.reserve(static_cast<size_t>(options.num_bursts));
+    for (int b = 0; b < options.num_bursts; ++b) {
+      starts.push_back(
+          burst_rng.Uniform(0.0, options.duration_s - window_s));
+    }
+    std::sort(starts.begin(), starts.end());
+    for (double start : starts) {
+      const double end = start + window_s;
+      if (!bursts_.empty() && start <= bursts_.back().second) {
+        bursts_.back().second = std::max(bursts_.back().second, end);
+      } else {
+        bursts_.emplace_back(start, end);
+      }
+    }
+  }
+
+  // Per-client streams: fork chain off a seeder distinct from the burst
+  // and open-loop streams. Each client's draws depend only on (seed,
+  // client index), never on how other clients interleave.
+  const int clients = std::max(options.closed_loop_clients, 0);
+  Rng client_seeder(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  client_rngs_.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    client_rngs_.push_back(client_seeder.Fork());
+  }
+}
+
+double TrafficSimulator::RateAt(double t_s) const {
+  double rate =
+      options_.base_qps *
+      (1.0 + options_.diurnal_amplitude *
+                 std::sin(2.0 * kPi * t_s / options_.diurnal_period_s));
+  for (const auto& [start, end] : bursts_) {
+    if (t_s >= start && t_s < end) {
+      rate *= options_.burst_multiplier;
+      break;
+    }
+  }
+  return rate;
+}
+
+Arrival TrafficSimulator::Draw(Rng* rng) const {
+  Arrival arrival;
+  if (!tenant_cdf_.empty()) {
+    const double u = rng->Uniform();
+    auto it = std::upper_bound(tenant_cdf_.begin(), tenant_cdf_.end(), u);
+    if (it == tenant_cdf_.end()) --it;
+    arrival.tenant = static_cast<int>(it - tenant_cdf_.begin());
+  }
+  arrival.node = zipf_.Sample(rng);
+  return arrival;
+}
+
+std::vector<Arrival> TrafficSimulator::OpenLoopSchedule() const {
+  std::vector<Arrival> schedule;
+  if (options_.base_qps <= 0.0) return schedule;
+  // Thinning (Lewis & Shedler): draw a homogeneous Poisson stream at the
+  // envelope's peak rate, keep each point with probability rate(t)/peak.
+  const double peak_qps = options_.base_qps *
+                          (1.0 + options_.diurnal_amplitude) *
+                          options_.burst_multiplier;
+  Rng seeder(options_.seed);
+  seeder.Fork();  // burst stream (drawn in the ctor) comes first
+  Rng rng = seeder.Fork();
+  double t_s = 0.0;
+  while (true) {
+    // Exponential inter-arrival at the peak rate. 1 - U keeps the argument
+    // of log strictly positive (Uniform() can return 0).
+    t_s += -std::log(1.0 - rng.Uniform()) / peak_qps;
+    if (t_s >= options_.duration_s) break;
+    if (rng.Uniform() * peak_qps <= RateAt(t_s)) {
+      Arrival arrival = Draw(&rng);
+      arrival.time_ms = t_s * 1000.0;
+      schedule.push_back(arrival);
+    }
+  }
+  return schedule;
+}
+
+double TrafficSimulator::ExpectedOpenLoopArrivals() const {
+  // Midpoint rule over a fine fixed grid; exactness is unnecessary (tests
+  // compare against a Poisson deviation bound, not equality).
+  constexpr int kSteps = 20000;
+  const double dt = options_.duration_s / kSteps;
+  double total = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    total += RateAt((i + 0.5) * dt) * dt;
+  }
+  return total;
+}
+
+Arrival TrafficSimulator::NextQuery(int client) {
+  AHG_CHECK(client >= 0 && client < clients());
+  return Draw(&client_rngs_[static_cast<size_t>(client)]);
+}
+
+}  // namespace ahg::fabric

@@ -1,0 +1,122 @@
+// Seeded, deterministic traffic simulator for the serving fabric.
+//
+// GNNBENCH (arXiv 2404.04118) documents how un-harnessed GNN-system
+// comparisons report wrong numbers; this module is the harness half of
+// bench/fabric_load: every arrival is a pure function of TrafficOptions
+// (fixed seed => identical schedule, bit for bit), so two fabric
+// configurations replay the *same* workload and their numbers are
+// comparable. tests/loadgen_test.cc pins the reproducibility and the
+// documented arrival statistics.
+//
+// Workload model:
+//  - Node popularity is zipfian (exponent s over node rank), the standard
+//    skew for user-facing traffic: a small hot set dominates, exercising
+//    the cache, while the tail keeps touching cold rows.
+//  - Tenant choice is categorical over `tenant_weights` (mixed tenant
+//    sizes; empty = single tenant 0).
+//  - Open loop: arrivals follow a non-homogeneous Poisson process whose
+//    rate envelope is a diurnal sinusoid scaled by burst windows —
+//    arrivals keep coming regardless of completions, the load pattern
+//    that exposes queueing collapse (closed-loop harnesses hide it).
+//  - Closed loop: `closed_loop_clients` clients each issue a query, wait
+//    for the answer, think, repeat — the pattern that measures saturation
+//    throughput. Each client draws from an independently forked stream,
+//    so schedules stay deterministic for any client interleaving.
+#ifndef AUTOHENS_FABRIC_LOADGEN_H_
+#define AUTOHENS_FABRIC_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ahg::fabric {
+
+// Draws ranks in [0, n) with P(rank = k) proportional to (k+1)^-s via an
+// exact precomputed CDF (O(log n) per draw). s = 0 is uniform.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(int num_items, double exponent);
+
+  int Sample(Rng* rng) const;
+
+  // P(rank = k), exact.
+  double Probability(int rank) const;
+
+  int num_items() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct TrafficOptions {
+  uint64_t seed = 1;
+  int num_nodes = 1000;
+  double zipf_exponent = 0.99;
+  // Tenant mix; empty means every arrival is tenant 0. Weights need not
+  // be normalized.
+  std::vector<double> tenant_weights;
+
+  // Open-loop envelope: rate(t) = base_qps * (1 + diurnal_amplitude *
+  // sin(2*pi*t / diurnal_period_s)) * (burst_multiplier inside a burst
+  // window, 1 outside). `num_bursts` windows of total length
+  // burst_fraction * duration_s are placed deterministically from seed.
+  double duration_s = 1.0;
+  double base_qps = 1000.0;
+  double diurnal_amplitude = 0.5;   // in [0, 1)
+  double diurnal_period_s = 1.0;    // one compressed "day"
+  double burst_multiplier = 1.0;    // >= 1; 1 disables bursts
+  double burst_fraction = 0.0;      // fraction of duration inside bursts
+  int num_bursts = 4;
+
+  // Closed loop.
+  int closed_loop_clients = 8;
+  double think_time_ms = 0.0;
+};
+
+struct Arrival {
+  double time_ms = 0.0;  // offset from schedule start (open loop)
+  int tenant = 0;
+  int node = 0;
+};
+
+class TrafficSimulator {
+ public:
+  explicit TrafficSimulator(const TrafficOptions& options);
+
+  // Open-loop arrival rate envelope at simulated time `t_s` (queries/s).
+  double RateAt(double t_s) const;
+
+  // The full open-loop schedule over [0, duration_s): a thinned Poisson
+  // draw against the envelope. Pure function of the options.
+  std::vector<Arrival> OpenLoopSchedule() const;
+
+  // Expected open-loop arrival count: the numerically integrated envelope.
+  double ExpectedOpenLoopArrivals() const;
+
+  // Next query for closed-loop client `client` (0-based, < clients());
+  // Arrival::time_ms is 0 (closed-loop timing is completion-driven).
+  // Deterministic per client and independent across clients.
+  Arrival NextQuery(int client);
+
+  // Burst windows [start_s, end_s), ascending, derived from the seed.
+  const std::vector<std::pair<double, double>>& bursts() const {
+    return bursts_;
+  }
+
+  int clients() const { return static_cast<int>(client_rngs_.size()); }
+  const ZipfianSampler& zipf() const { return zipf_; }
+
+ private:
+  Arrival Draw(Rng* rng) const;
+
+  TrafficOptions options_;
+  ZipfianSampler zipf_;
+  std::vector<double> tenant_cdf_;  // empty for single-tenant traffic
+  std::vector<std::pair<double, double>> bursts_;
+  std::vector<Rng> client_rngs_;
+};
+
+}  // namespace ahg::fabric
+
+#endif  // AUTOHENS_FABRIC_LOADGEN_H_

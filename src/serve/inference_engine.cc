@@ -26,11 +26,15 @@ InferenceEngine::InferenceEngine(const Graph* graph,
                                  const EngineOptions& options,
                                  ServeStats* stats)
     : graph_(graph),
-      cache_(options.cache_byte_budget),
+      own_cache_(options.cache_byte_budget),
+      cache_(options.shared_cache != nullptr ? options.shared_cache
+                                             : &own_cache_),
+      scope_(options.cache_scope),
       stats_(stats),
       pooling_(options.pooling),
       fusion_(options.fusion) {
   AHG_CHECK(graph != nullptr);
+  AHG_CHECK(scope_.find('/') == std::string::npos);
 }
 
 StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
@@ -54,10 +58,11 @@ StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
   }
   // Published versions are immutable and the generation pins the topology,
   // so (generation, version) identifies the propagation product.
-  const std::string key = PropagationKey(GraphId(generation), model.version);
+  const std::string key =
+      PropagationKey(GraphId(scope_, generation), model.version);
   bool computed = false;
   std::shared_ptr<const Matrix> hidden =
-      cache_.GetOrCompute(key, [graph, &model, &computed] {
+      cache_->GetOrCompute(key, [graph, &model, &computed] {
         computed = true;
         std::unique_ptr<GnnModel> zoo = BuildModel(model.config);
         std::vector<Matrix> weights(model.params.begin(),
@@ -78,7 +83,7 @@ StatusOr<std::shared_ptr<const Matrix>> InferenceEngine::HiddenStates(
     } else {
       stats_->RecordCacheHit();
     }
-    stats_->SetCacheBytes(cache_.current_bytes());
+    stats_->SetCacheBytes(cache_->current_bytes());
   }
   return hidden;
 }
@@ -142,8 +147,8 @@ Status InferenceEngine::SwapGraph(const Graph* graph, uint64_t generation) {
   }
   // Products of the retired topology must never answer a new query;
   // in-flight requests that already resolved a shared_ptr keep it alive.
-  cache_.InvalidateGraph(GraphId(retired));
-  if (stats_ != nullptr) stats_->SetCacheBytes(cache_.current_bytes());
+  cache_->InvalidateGraph(GraphId(scope_, retired));
+  if (stats_ != nullptr) stats_->SetCacheBytes(cache_->current_bytes());
   return Status::OK();
 }
 
@@ -164,8 +169,9 @@ Status InferenceEngine::InstallHiddenStates(
         StrFormat("hidden states have %d rows, serving graph has %d nodes",
                   hidden->rows(), graph->num_nodes()));
   }
-  cache_.Put(PropagationKey(GraphId(generation), version), std::move(hidden));
-  if (stats_ != nullptr) stats_->SetCacheBytes(cache_.current_bytes());
+  cache_->Put(PropagationKey(GraphId(scope_, generation), version),
+              std::move(hidden));
+  if (stats_ != nullptr) stats_->SetCacheBytes(cache_->current_bytes());
   return Status::OK();
 }
 

@@ -36,6 +36,7 @@ Matrix ApplyClassifierHead(const Matrix& hidden_rows,
 
 struct EngineOptions {
   // LRU budget for cached propagation products; <= 0 means unbounded.
+  // Ignored when `shared_cache` is set.
   int64_t cache_byte_budget = int64_t{256} << 20;
   // Recycle per-request tensor buffers (gathered rows, head outputs, cache
   // recomputes) through the MatrixPool (tensor/pool.h). The pool stays warm
@@ -44,6 +45,18 @@ struct EngineOptions {
   bool pooling = false;
   // Fused kernels on the frozen forward + head path. Bitwise-neutral.
   bool fusion = false;
+  // When set, the engine caches its propagation products here instead of in
+  // a private cache — the fabric points every tenant engine of a shard at
+  // one cache so the shard has a single LRU byte budget. Must outlive the
+  // engine. Engines sharing a cache MUST carry distinct `cache_scope`s:
+  // generations are per-engine counters, so without a scope two tenant
+  // graphs at the same (generation, model-version) pair collide on the key
+  // and one tenant is served the other's hidden states.
+  PropagationCache* shared_cache = nullptr;
+  // Stable graph/tenant id folded into every cache key (and into
+  // InvalidateGraph on swap). Empty keeps the historical "g<gen>" keys for
+  // single-tenant engines. Must not contain '/'.
+  std::string cache_scope;
 };
 
 class InferenceEngine {
@@ -89,7 +102,9 @@ class InferenceEngine {
   // Graph generation used in cache keys (0 until the first SwapGraph).
   uint64_t graph_generation() const;
 
-  const PropagationCache& cache() const { return cache_; }
+  // The cache this engine resolves against: the shared one when
+  // EngineOptions::shared_cache was set, the private one otherwise.
+  const PropagationCache& cache() const { return *cache_; }
   const Graph& graph() const;
 
   // Comparator/baseline: rebuilds the autodiff model + head and runs the
@@ -109,7 +124,9 @@ class InferenceEngine {
   mutable std::shared_mutex graph_mu_;
   const Graph* graph_;
   uint64_t graph_generation_ = 0;
-  PropagationCache cache_;
+  PropagationCache own_cache_;
+  PropagationCache* const cache_;  // &own_cache_ or options.shared_cache
+  const std::string scope_;        // options.cache_scope
   ServeStats* const stats_;
   const bool pooling_;
   const bool fusion_;

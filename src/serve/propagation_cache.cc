@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace ahg::serve {
@@ -14,6 +15,12 @@ std::string PropagationKey(const std::string& graph_id, int model_version) {
 
 std::string GraphId(uint64_t generation) {
   return StrFormat("g%lld", static_cast<long long>(generation));
+}
+
+std::string GraphId(const std::string& scope, uint64_t generation) {
+  AHG_CHECK(scope.find('/') == std::string::npos);
+  if (scope.empty()) return GraphId(generation);
+  return scope + ":" + GraphId(generation);
 }
 
 PropagationCache::PropagationCache(int64_t byte_budget)

@@ -43,6 +43,14 @@ std::string PropagationKey(const std::string& graph_id, int model_version);
 // graph_id for generation `gen` of the serving graph ("g<gen>").
 std::string GraphId(uint64_t generation);
 
+// Tenant-scoped graph_id: "<scope>:g<gen>", or plain "g<gen>" when `scope`
+// is empty. Generations are per-engine counters, so when several tenant
+// graphs share one PropagationCache (the fabric's per-shard cache) the
+// scope is what keeps their products from colliding: two tenants at the
+// same (generation, model-version) pair must resolve different keys.
+// `scope` must not contain '/' (the key separator).
+std::string GraphId(const std::string& scope, uint64_t generation);
+
 class PropagationCache {
  public:
   // byte_budget <= 0 means unbounded.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -60,12 +61,41 @@ std::future<QueryResult> RequestBatcher::Enqueue(int node_id,
     pending_.push_back(std::move(request));
     if (static_cast<int>(pending_.size()) >= options_.max_batch_size) {
       SubmitBatchLocked();
-    } else if (pending_.size() == 1) {
-      // Wake the flusher so it can time this batch's delay bound.
+    } else {
+      // Wake the flusher so it can re-arm on this request's delay bound or
+      // deadline (which may now be the earliest in the queue).
       flusher_cv_.notify_one();
     }
   }
   return future;
+}
+
+double RequestBatcher::ExpirePendingLocked() {
+  double next_expiry_ms = std::numeric_limits<double>::infinity();
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    Pending& request = pending_[i];
+    if (request.deadline_ms > 0.0) {
+      const double remaining_ms =
+          request.deadline_ms - request.enqueued.ElapsedMillis();
+      if (remaining_ms <= 0.0) {
+        stats_->RecordDeadlineViolation();
+        QueryResult result;
+        result.status = Status::DeadlineExceeded(
+            StrFormat("expired in queue after %.1fms, deadline %.1fms",
+                      request.enqueued.ElapsedMillis(), request.deadline_ms));
+        result.latency_ms = request.enqueued.ElapsedMillis();
+        request.promise.set_value(std::move(result));
+        --in_queue_;
+        continue;  // dropped: never reaches a pool task
+      }
+      next_expiry_ms = std::min(next_expiry_ms, remaining_ms);
+    }
+    if (kept != i) pending_[kept] = std::move(pending_[i]);
+    ++kept;
+  }
+  pending_.resize(kept);
+  return next_expiry_ms;
 }
 
 void RequestBatcher::FlusherLoop() {
@@ -76,25 +106,42 @@ void RequestBatcher::FlusherLoop() {
           lock, [this] { return stop_flusher_ || !pending_.empty(); });
       continue;
     }
+    // Fail already-expired requests here, on the thread that owns the
+    // timing decision: the old scheme submitted them to the pool and let
+    // ExecuteBatch discover the expiry, which raced the flusher's delay
+    // clock against the deadline clock and dispatched past-deadline work.
+    const double next_expiry_ms = ExpirePendingLocked();
+    if (pending_.empty()) continue;
     const double waited_ms = pending_.front().enqueued.ElapsedMillis();
-    const double remaining_ms = options_.max_queue_delay_ms - waited_ms;
-    if (remaining_ms <= 0.0) {
+    const double remaining_delay_ms = options_.max_queue_delay_ms - waited_ms;
+    if (remaining_delay_ms <= 0.0) {
       SubmitBatchLocked();
       continue;
     }
-    flusher_cv_.wait_for(
-        lock, std::chrono::duration<double, std::milli>(remaining_ms));
+    // Wake at whichever bound lands first: the partial-batch delay or the
+    // earliest pending deadline.
+    flusher_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                   std::min(remaining_delay_ms,
+                                            next_expiry_ms)));
   }
 }
 
 void RequestBatcher::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Expired requests are answered here instead of being packed into the
+  // batch — same contract as the flusher path.
+  ExpirePendingLocked();
   while (!pending_.empty()) SubmitBatchLocked();
 }
 
 void RequestBatcher::Drain() {
   Flush();
   pool_.Wait();
+}
+
+int RequestBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_queue_;
 }
 
 void RequestBatcher::SubmitBatchLocked() {
@@ -117,7 +164,12 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
   static obs::Histogram* queue_wait_ms = obs::MetricsRegistry::Global().GetHistogram(
       "serve.queue_wait_ms", obs::DefaultLatencyBucketsMs());
   stats_->RecordBatch(static_cast<int>(batch.size()));
-  std::shared_ptr<const ServableModel> model = registry_->Active();
+  // One model resolution per batch: every request in the batch is answered
+  // by the same version, so a hot swap (or a fabric rollout flip) lands at
+  // a batch boundary and can never tear a batch across versions.
+  std::shared_ptr<const ServableModel> model =
+      options_.model_resolver ? options_.model_resolver()
+                              : registry_->Active();
 
   // Deadline admission happens at execution time: a request that already
   // overstayed its budget in the queue is answered without paying for
@@ -182,6 +234,7 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
       const Matrix& m = probs.value();
       result.probs.assign(m.Row(static_cast<int>(j)),
                           m.Row(static_cast<int>(j)) + m.cols());
+      result.served_version = model->version;
     }
     request.promise.set_value(std::move(result));
   }

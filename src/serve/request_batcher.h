@@ -9,8 +9,10 @@
 // configured bound instead of sitting in the queue until an explicit
 // Flush(). Admission control caps the number of pending requests: beyond
 // queue_limit, Enqueue fails fast with ResourceExhausted instead of letting
-// the queue grow without bound. A request whose deadline has already passed
-// when its batch executes is answered with DeadlineExceeded and counted in
+// the queue grow without bound. A request whose deadline expires while it
+// waits is answered with DeadlineExceeded by the flusher (or by Flush)
+// without ever being dispatched to the pool; one that expires between cut
+// and execution is caught again in ExecuteBatch. Both are counted in
 // ServeStats.
 //
 // Determinism: every answered probability vector is a pure function of the
@@ -21,6 +23,7 @@
 #define AUTOHENS_SERVE_REQUEST_BATCHER_H_
 
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -44,13 +47,20 @@ struct BatcherOptions {
   // long, so low-QPS traffic is answered within the bound without Flush().
   // <= 0 disables the background flusher (cut on max_batch_size only).
   double max_queue_delay_ms = 10.0;
+  // When set, each batch resolves its model through this callback instead
+  // of registry->Active(). The fabric pins every shard's batcher to one
+  // fleet-wide version this way, so a rollout is a single atomic flip
+  // rather than N independent Active() reads. Called once per batch; must
+  // be thread-safe; a nullptr return fails the batch's requests NotFound.
+  std::function<std::shared_ptr<const ServableModel>()> model_resolver;
 };
 
 // Outcome of one query. `probs` has num_classes entries when status is OK.
 struct QueryResult {
   Status status;
   std::vector<double> probs;
-  double latency_ms = 0.0;  // enqueue -> answer
+  double latency_ms = 0.0;   // enqueue -> answer
+  int served_version = 0;    // model version that produced `probs` (OK only)
 };
 
 class RequestBatcher {
@@ -78,6 +88,10 @@ class RequestBatcher {
   // Flush + wait until every submitted batch has executed.
   void Drain();
 
+  // Requests admitted but not yet answered (pending + cut-but-not-executed).
+  // The fabric router gates admission on this before touching the queue.
+  int queue_depth() const;
+
  private:
   struct Pending {
     int node_id = 0;
@@ -92,8 +106,17 @@ class RequestBatcher {
 
   void ExecuteBatch(std::vector<Pending> batch);
 
+  // Answers every pending request whose deadline has already passed with
+  // DeadlineExceeded and removes it from the queue, so expired work is
+  // never dispatched to the pool. Caller must hold mu_. Returns the
+  // earliest remaining deadline expiry in ms-from-now (infinity when no
+  // pending request carries a deadline).
+  double ExpirePendingLocked();
+
   // Background thread: submits the pending partial batch once its oldest
-  // request has waited options_.max_queue_delay_ms.
+  // request has waited options_.max_queue_delay_ms, and fails requests in
+  // place the moment their deadline expires (it wakes at whichever of the
+  // two bounds comes first — see the deadline-race note in ExecuteBatch).
   void FlusherLoop();
 
   InferenceEngine* const engine_;
@@ -101,7 +124,7 @@ class RequestBatcher {
   const BatcherOptions options_;
   ServeStats* const stats_;
   ThreadPool pool_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable flusher_cv_;
   bool stop_flusher_ = false;
   std::vector<Pending> pending_;

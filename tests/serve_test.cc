@@ -486,6 +486,66 @@ TEST(RequestBatcherTest, ExpiredDeadlineIsCountedAndReported) {
   EXPECT_EQ(stats.Snapshot().completed, 0);
 }
 
+// Regression test (ISSUE 6 satellite): the flusher used to race its delay
+// clock against request deadlines — a request whose deadline fell inside
+// max_queue_delay_ms was still packed into a batch and dispatched to the
+// pool, where ExecuteBatch discovered the expiry after paying for the
+// dispatch. The flusher now expires pending requests in place: the answer
+// arrives near the deadline (not the delay bound) and no pool task runs.
+TEST(RequestBatcherTest, FlusherExpiresDeadlinesWithoutDispatching) {
+  BatcherFixture fx("serve_batcher_expiry_race");
+  ServeStats stats;
+  InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.max_batch_size = 64;          // never cut on size
+  options.max_queue_delay_ms = 60000.0; // delay clock far beyond the deadline
+  RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+  std::future<QueryResult> future = batcher.Enqueue(0, /*deadline_ms=*/20.0);
+  // Only the flusher's deadline wake-up can answer this before the 60s
+  // delay bound; the generous wait absorbs slow CI.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  QueryResult result = future.get();
+  EXPECT_EQ(result.status.code(), Status::Code::kDeadlineExceeded)
+      << result.status.ToString();
+  ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.deadline_violations, 1);
+  EXPECT_EQ(snap.completed, 0);
+  // The proof the request never reached the pool: no batch was executed
+  // and the engine never computed (or even looked up) a propagation
+  // product on its behalf.
+  EXPECT_EQ(snap.batches, 0);
+  EXPECT_EQ(snap.cache_misses, 0);
+  EXPECT_EQ(snap.cache_hits, 0);
+}
+
+// Same contract on the Flush() path: expired requests are answered during
+// Flush, not packed into the submitted batch, and live requests in the same
+// queue still execute normally.
+TEST(RequestBatcherTest, FlushExpiresStaleRequestsButServesLiveOnes) {
+  BatcherFixture fx("serve_batcher_expiry_flush");
+  ServeStats stats;
+  InferenceEngine engine(&fx.graph_, EngineOptions{}, &stats);
+  BatcherOptions options;
+  options.max_batch_size = 64;
+  options.max_queue_delay_ms = 0.0;  // no flusher: Flush owns expiry
+  options.deadline_ms = 0.0;         // default: no deadline
+  RequestBatcher batcher(&engine, fx.registry_.get(), options, &stats);
+  std::future<QueryResult> stale = batcher.Enqueue(1, /*deadline_ms=*/1e-9);
+  std::future<QueryResult> live = batcher.Enqueue(2);  // no deadline
+  batcher.Drain();
+  EXPECT_EQ(stale.get().status.code(), Status::Code::kDeadlineExceeded);
+  QueryResult served = live.get();
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.deadline_violations, 1);
+  EXPECT_EQ(snap.completed, 1);
+  // Exactly one single-request batch executed — the stale request was
+  // removed before the cut, not dispatched alongside the live one.
+  EXPECT_EQ(snap.batches, 1);
+  EXPECT_EQ(snap.batch_size_histogram[0], 1);
+}
+
 // Regression test: a batch smaller than max_batch_size used to sit in the
 // queue until an explicit Flush()/Drain() — a lone request never completed.
 // The background flusher now bounds queue residence by max_queue_delay_ms.
