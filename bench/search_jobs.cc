@@ -1,0 +1,337 @@
+// Search-job bench: the cost of durability. Two questions, one JSON
+// artifact:
+//
+//   checkpoint overhead   the same gradient-search job is run to completion
+//                         at several checkpoint intervals; the widest
+//                         interval is the near-zero-overhead baseline, and
+//                         each run reports wall clock, checkpoints written,
+//                         final checkpoint bytes, and the amortized ms per
+//                         checkpoint relative to that baseline
+//   resume wall-clock     a worker is forked and SIGKILLed after its K-th
+//                         checkpoint (K sweeps early/mid/late stages), then
+//                         the job is recovered and resumed to publication;
+//                         the resume attempt's wall clock shows how much of
+//                         the run a checkpoint actually buys back. Every
+//                         resumed ensemble is byte-compared against an
+//                         uninterrupted twin — any mismatch fails the bench
+//                         so CI gates on resume determinism.
+//
+// Usage: search_jobs [--fast] [--json-out FILE] [--trace-out F]
+//                    [--metrics-out F]
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "graph/synthetic.h"
+#include "jobs/job_store.h"
+#include "jobs/search_job.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace ahg::jobs {
+namespace {
+
+struct IntervalReport {
+  int interval = 0;
+  double wall_ms = 0.0;
+  int checkpoints = 0;
+  int64_t checkpoint_bytes = 0;  // final on-disk snapshot size
+  double overhead_ms_per_ckpt = 0.0;  // vs the widest-interval baseline
+};
+
+struct ResumeReport {
+  int kill_after = 0;      // checkpoints survived before SIGKILL
+  double full_ms = 0.0;    // uninterrupted twin wall clock
+  double resume_ms = 0.0;  // recover + resume attempt to published
+  bool bitwise_identical = false;
+};
+
+Graph BenchGraph(bool fast) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = fast ? 90 : 240;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 8;
+  cfg.avg_degree = 5.0;
+  cfg.homophily = 0.85;
+  cfg.seed = 211;
+  return GenerateSbmGraph(cfg);
+}
+
+SearchJobSpec BenchSpec(const std::string& job_id, bool fast, int interval) {
+  SearchJobSpec spec;
+  spec.job_id = job_id;
+  spec.dataset = "bench_sbm";
+  spec.algo = JobAlgo::kGradient;
+  spec.candidates = {{"GCN", {}}, {"SGC", {}}, {"SAGE", {}}};
+  spec.candidates[0].config.family = ModelFamily::kGcn;
+  spec.candidates[1].config.family = ModelFamily::kSgc;
+  spec.candidates[2].config.family = ModelFamily::kSageMean;
+  for (auto& candidate : spec.candidates) {
+    candidate.config.hidden_dim = 8;
+    candidate.config.num_layers = 2;
+    candidate.config.dropout = 0.1;
+  }
+  spec.pool_size = 2;
+  spec.k = 1;
+  spec.proxy_bagging = 1;
+  spec.proxy_num_threads = 1;
+  spec.train.max_epochs = fast ? 8 : 20;
+  spec.train.patience = spec.train.max_epochs;
+  spec.train.learning_rate = 2e-2;
+  spec.gradient_max_epochs = fast ? 8 : 20;
+  spec.gradient_patience = spec.gradient_max_epochs;
+  spec.gradient_checkpoint_every = interval;
+  spec.seed = 77;
+  return spec;
+}
+
+int64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_size)
+                                        : 0;
+}
+
+std::vector<std::string> ListDirFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      if (e->d_name[0] != '.') names.emplace_back(e->d_name);
+    }
+    ::closedir(d);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+bool DirsIdentical(const std::string& a, const std::string& b) {
+  const auto fa = ListDirFiles(a);
+  if (fa != ListDirFiles(b) || fa.empty()) return false;
+  for (const std::string& name : fa) {
+    if (ReadBytes(a + "/" + name) != ReadBytes(b + "/" + name)) return false;
+  }
+  return true;
+}
+
+std::string FreshRoot(const std::string& tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string root = std::string(tmp ? tmp : "/tmp") +
+                           "/search_jobs_bench_" + tag + "_" +
+                           std::to_string(::getpid());
+  std::string cmd = "rm -rf " + root;
+  if (std::system(cmd.c_str()) != 0) std::exit(2);
+  ::mkdir(root.c_str(), 0755);
+  return root;
+}
+
+// Runs `job_id` (already created in `store`) to publication in-process.
+SearchJobOutcome RunToPublished(JobStore* store, const std::string& job_id,
+                                const Graph& graph, const DataSplit& split) {
+  JobEnv env;
+  env.graph = &graph;
+  env.split = &split;
+  SearchJob job(store, job_id);
+  auto out = job.Run(env);
+  if (!out.ok() || out.value().status != JobStatus::kPublished) {
+    std::fprintf(stderr, "job %s did not publish\n", job_id.c_str());
+    std::exit(2);
+  }
+  return out.value();
+}
+
+// Forks a worker that dies by SIGKILL after `kill_after` checkpoint writes.
+void ForkAndKill(const std::string& store_dir, const std::string& job_id,
+                 const Graph& graph, const DataSplit& split, int kill_after) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    SetNumThreads(1);
+    JobStore store(store_dir);
+    JobEnv env;
+    env.graph = &graph;
+    env.split = &split;
+    env.kill_after_checkpoints = kill_after;
+    SearchJob job(&store, job_id);
+    auto out = job.Run(env);
+    ::_exit(out.ok() ? 0 : 17);
+  }
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+    std::fprintf(stderr, "worker survived a kill_after=%d run\n", kill_after);
+    std::exit(2);
+  }
+}
+
+std::string JsonReport(bool fast, const Graph& graph,
+                       const std::vector<IntervalReport>& intervals,
+                       const std::vector<ResumeReport>& resumes,
+                       bool all_identical) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"search_jobs\",\n";
+  json += "  \"schema_version\": 1,\n";
+  json += StrFormat(
+      "  \"config\": {\"num_nodes\": %d, \"num_classes\": %d, "
+      "\"algo\": \"gradient\", \"fast\": %s, \"seed\": 77},\n",
+      graph.num_nodes(), graph.num_classes(), fast ? "true" : "false");
+  json += "  \"checkpoint_overhead\": [\n";
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const IntervalReport& run = intervals[i];
+    json += StrFormat(
+        "    {\"interval\": %d, \"wall_ms\": %.2f, \"checkpoints\": %d, "
+        "\"checkpoint_bytes\": %lld, \"overhead_ms_per_checkpoint\": %.3f}%s\n",
+        run.interval, run.wall_ms, run.checkpoints,
+        static_cast<long long>(run.checkpoint_bytes), run.overhead_ms_per_ckpt,
+        i + 1 < intervals.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += "  \"resume\": [\n";
+  for (size_t i = 0; i < resumes.size(); ++i) {
+    const ResumeReport& run = resumes[i];
+    json += StrFormat(
+        "    {\"kill_after_checkpoints\": %d, \"full_run_ms\": %.2f, "
+        "\"resume_ms\": %.2f, \"bitwise_identical\": %s}%s\n",
+        run.kill_after, run.full_ms, run.resume_ms,
+        run.bitwise_identical ? "true" : "false",
+        i + 1 < resumes.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"assertions\": {\"resume_bitwise_identical\": %s}\n",
+      all_identical ? "true" : "false");
+  json += "}\n";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  const bool fast = bench::FastMode(argc, argv);
+  const bench::ObsFlags obs_flags = bench::ParseObsFlags(argc, argv);
+  std::string json_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0) json_out = argv[i + 1];
+  }
+  SetNumThreads(1);  // single schedule: forked workers must match the parent
+
+  const Graph graph = BenchGraph(fast);
+  Rng split_rng(212);
+  const DataSplit split = RandomSplit(graph, 0.6, 0.2, &split_rng);
+
+  // --- Checkpoint overhead vs interval ---
+  const std::vector<int> kIntervals =
+      fast ? std::vector<int>{2, 8} : std::vector<int>{1, 2, 4, 8};
+  std::vector<IntervalReport> intervals;
+  for (const int interval : kIntervals) {
+    const std::string root = FreshRoot("ivl" + std::to_string(interval));
+    JobStore store(root);
+    SearchJobSpec spec = BenchSpec("overhead", fast, interval);
+    if (!store.CreateJob(spec).ok()) std::exit(2);
+    Stopwatch watch;
+    const SearchJobOutcome out =
+        RunToPublished(&store, "overhead", graph, split);
+    IntervalReport report;
+    report.interval = interval;
+    report.wall_ms = watch.ElapsedSeconds() * 1e3;
+    report.checkpoints = out.checkpoints_written;
+    report.checkpoint_bytes = FileBytes(root + "/overhead/checkpoint.bin");
+    intervals.push_back(report);
+  }
+  // Baseline = the widest interval (fewest checkpoints). The division is
+  // noisy on a busy machine; the artifact keeps the raw wall clocks too.
+  const IntervalReport& baseline = intervals.back();
+  for (IntervalReport& run : intervals) {
+    const int extra = run.checkpoints - baseline.checkpoints;
+    run.overhead_ms_per_ckpt =
+        extra > 0 ? (run.wall_ms - baseline.wall_ms) / extra : 0.0;
+  }
+
+  // --- Resume wall-clock, with the determinism gate ---
+  const std::vector<int> kKillAfter =
+      fast ? std::vector<int>{1, 4} : std::vector<int>{1, 3, 6, 9};
+  std::vector<ResumeReport> resumes;
+  bool all_identical = true;
+  for (const int kill_after : kKillAfter) {
+    const std::string root = FreshRoot("kill" + std::to_string(kill_after));
+    JobStore store(root);
+    SearchJobSpec spec = BenchSpec("victim", fast, /*interval=*/2);
+    if (!store.CreateJob(spec).ok()) std::exit(2);
+    spec.job_id = "twin";
+    if (!store.CreateJob(spec).ok()) std::exit(2);
+
+    ResumeReport report;
+    report.kill_after = kill_after;
+    Stopwatch full_watch;
+    RunToPublished(&store, "twin", graph, split);
+    report.full_ms = full_watch.ElapsedSeconds() * 1e3;
+
+    ForkAndKill(root, "victim", graph, split, kill_after);
+    Stopwatch resume_watch;
+    if (!store.RecoverInterrupted().ok()) std::exit(2);
+    RunToPublished(&store, "victim", graph, split);
+    report.resume_ms = resume_watch.ElapsedSeconds() * 1e3;
+    report.bitwise_identical =
+        DirsIdentical(root + "/victim/ensemble", root + "/twin/ensemble");
+    all_identical = all_identical && report.bitwise_identical;
+    resumes.push_back(report);
+  }
+
+  bench::TablePrinter overhead_table(
+      {"interval", "wall_ms", "ckpts", "ckpt_bytes", "ms/ckpt"});
+  for (const IntervalReport& run : intervals) {
+    overhead_table.AddRow({std::to_string(run.interval),
+                           StrFormat("%.1f", run.wall_ms),
+                           std::to_string(run.checkpoints),
+                           std::to_string(run.checkpoint_bytes),
+                           StrFormat("%.3f", run.overhead_ms_per_ckpt)});
+  }
+  std::printf("checkpoint overhead vs interval (gradient search):\n");
+  overhead_table.Print();
+  bench::TablePrinter resume_table(
+      {"kill_after", "full_ms", "resume_ms", "bitwise"});
+  for (const ResumeReport& run : resumes) {
+    resume_table.AddRow({std::to_string(run.kill_after),
+                         StrFormat("%.1f", run.full_ms),
+                         StrFormat("%.1f", run.resume_ms),
+                         run.bitwise_identical ? "yes" : "NO"});
+  }
+  std::printf("\nresume wall-clock after SIGKILL at the K-th checkpoint:\n");
+  resume_table.Print();
+
+  const std::string json =
+      JsonReport(fast, graph, intervals, resumes, all_identical);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_out.c_str());
+  } else {
+    std::printf("\n%s", json.c_str());
+  }
+  if (!bench::FlushObsOutputs(obs_flags)) return 1;
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a resumed ensemble diverged from its twin\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ahg::jobs
+
+int main(int argc, char** argv) { return ahg::jobs::Main(argc, argv); }

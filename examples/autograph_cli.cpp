@@ -135,7 +135,13 @@ int main(int argc, char** argv) {
     candidates.insert(candidates.end(), novel.begin(), novel.end());
   }
 
-  AutoHEnsResult result = RunAutoHEnsGnn(ds.graph, split, candidates, config);
+  auto result_or = RunAutoHEnsGnnChecked(ds.graph, split, candidates, config);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "autohens failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const AutoHEnsResult& result = result_or.value();
   std::printf("pool:");
   for (size_t j = 0; j < result.pool_names.size(); ++j) {
     std::printf(" %s(beta=%.2f)", result.pool_names[j].c_str(),
@@ -156,6 +162,11 @@ int main(int argc, char** argv) {
   }
   for (int node : ds.test_nodes) {
     out << node << "\t" << result.probs.ArgMaxRow(node) << "\n";
+  }
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "short write to %s\n", out_path.c_str());
+    return 1;
   }
   std::printf("wrote %zu predictions to %s\n", ds.test_nodes.size(),
               out_path.c_str());

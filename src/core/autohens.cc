@@ -92,4 +92,54 @@ AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
   return result;
 }
 
+StatusOr<AutoHEnsResult> RunAutoHEnsGnnChecked(
+    const Graph& graph, const DataSplit& split,
+    const std::vector<CandidateSpec>& candidates,
+    const AutoHEnsConfig& config) {
+  if (graph.num_nodes() <= 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  if (graph.num_classes() <= 0) {
+    return Status::InvalidArgument("graph has no classes");
+  }
+  if (candidates.empty() && config.fixed_pool.empty()) {
+    return Status::InvalidArgument(
+        "no candidate architectures (and no fixed pool)");
+  }
+  if (split.train.empty()) {
+    return Status::InvalidArgument("split has no training nodes");
+  }
+  if (split.val.empty()) {
+    return Status::InvalidArgument("split has no validation nodes");
+  }
+  for (const int node : split.train) {
+    if (node < 0 || node >= graph.num_nodes()) {
+      return Status::InvalidArgument("split train node out of range");
+    }
+  }
+  for (const int node : split.val) {
+    if (node < 0 || node >= graph.num_nodes()) {
+      return Status::InvalidArgument("split val node out of range");
+    }
+  }
+  for (const int node : split.test) {
+    if (node < 0 || node >= graph.num_nodes()) {
+      return Status::InvalidArgument("split test node out of range");
+    }
+  }
+  if (config.pool_size <= 0) {
+    return Status::InvalidArgument("pool_size must be positive");
+  }
+  if (config.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (config.val_fraction <= 0.0 || config.val_fraction >= 1.0) {
+    return Status::InvalidArgument("val_fraction must be in (0, 1)");
+  }
+  if (config.time_budget_seconds < 0.0) {
+    return Status::InvalidArgument("time_budget_seconds must be >= 0");
+  }
+  return RunAutoHEnsGnn(graph, split, candidates, config);
+}
+
 }  // namespace ahg

@@ -15,6 +15,7 @@
 #include "core/proxy_eval.h"
 #include "core/search_adaptive.h"
 #include "core/search_gradient.h"
+#include "util/status.h"
 
 namespace ahg {
 
@@ -57,6 +58,16 @@ struct AutoHEnsResult {
 AutoHEnsResult RunAutoHEnsGnn(const Graph& graph, const DataSplit& split,
                               const std::vector<CandidateSpec>& candidates,
                               const AutoHEnsConfig& config);
+
+// Validating wrapper for callers that must not crash on malformed input
+// (CLIs, the job service): rejects empty graphs, empty candidate sets,
+// unusable splits, and nonsensical configs with InvalidArgument instead of
+// tripping an AHG_CHECK. The happy path delegates to RunAutoHEnsGnn and is
+// bitwise identical to it.
+StatusOr<AutoHEnsResult> RunAutoHEnsGnnChecked(
+    const Graph& graph, const DataSplit& split,
+    const std::vector<CandidateSpec>& candidates,
+    const AutoHEnsConfig& config);
 
 }  // namespace ahg
 

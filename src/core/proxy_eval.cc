@@ -42,8 +42,18 @@ ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,
 
   ProxyEvalResult result;
   result.ranked.resize(pool.size());
+  // Tracks which slots finished; cancelled candidates never enter the
+  // ranking (a partially trained score would not be reproducible).
+  std::vector<char> scored(pool.size(), 0);
   ParallelFor(
       static_cast<int>(pool.size()), config.num_threads, [&](int i) {
+        if (auto it = config.precomputed.find(i);
+            it != config.precomputed.end()) {
+          result.ranked[i] = it->second;
+          scored[i] = 1;
+          return;
+        }
+        if (IsCancelled(config.cancel)) return;
         AHG_TRACE_SPAN_ARG("search/proxy_candidate", i);
         const CandidateSpec& spec = pool[i];
         CandidateScore score;
@@ -56,11 +66,13 @@ ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,
         Stopwatch watch;
         std::vector<double> accs;
         for (int b = 0; b < config.bagging; ++b) {
+          if (IsCancelled(config.cancel)) return;
           ModelConfig mcfg = score.config;
           mcfg.seed = seed ^ (static_cast<uint64_t>(b) << 16) ^
                       (static_cast<uint64_t>(i) << 32);
           TrainConfig tcfg = config.train;
           tcfg.seed = mcfg.seed + 1;
+          tcfg.cancel = config.cancel;
           NodeTrainResult trained;
           if (config.grid_search) {
             trained = GridSearchTrain(mcfg, rounds[b].sub.graph,
@@ -70,15 +82,30 @@ ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,
             trained = TrainSingleNodeModel(mcfg, rounds[b].sub.graph,
                                            rounds[b].split, tcfg);
           }
+          // A cancel that fired mid-training produced a partial result;
+          // drop the whole candidate rather than score it inconsistently.
+          if (IsCancelled(config.cancel)) return;
           accs.push_back(trained.val_accuracy);
         }
         const RunStats stats = Summarize(accs);
         score.mean_val_accuracy = stats.mean;
         score.stddev = stats.stddev;
         score.seconds = watch.ElapsedSeconds();
+        if (config.on_candidate_done) config.on_candidate_done(i, score);
         result.ranked[i] = std::move(score);
+        scored[i] = 1;
       });
 
+  result.interrupted = IsCancelled(config.cancel);
+  // Compact away unscored slots (only possible after a cancel) before the
+  // rank sort; index order is preserved, so the stable sort tie-breaks
+  // exactly as an uninterrupted run would.
+  std::vector<CandidateScore> complete;
+  complete.reserve(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (scored[i]) complete.push_back(std::move(result.ranked[i]));
+  }
+  result.ranked = std::move(complete);
   std::stable_sort(result.ranked.begin(), result.ranked.end(),
                    [](const CandidateScore& a, const CandidateScore& b) {
                      return a.mean_val_accuracy > b.mean_val_accuracy;

@@ -6,14 +6,26 @@
 #ifndef AUTOHENS_CORE_PROXY_EVAL_H_
 #define AUTOHENS_CORE_PROXY_EVAL_H_
 
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "models/model_zoo.h"
 #include "tasks/train_node.h"
+#include "util/cancel.h"
 
 namespace ahg {
+
+struct CandidateScore {
+  std::string name;
+  ModelConfig config;           // with the proxy hidden size applied
+  ModelConfig original_config;  // as supplied in the pool
+  double mean_val_accuracy = 0.0;
+  double stddev = 0.0;
+  double seconds = 0.0;  // summed training time for this candidate
+};
 
 struct ProxyConfig {
   double dataset_ratio = 0.3;  // D_proxy: subgraph node fraction
@@ -28,20 +40,28 @@ struct ProxyConfig {
   // already execute in parallel (nested regions never spawn).
   int num_threads = 1;
   TrainConfig train;
-};
-
-struct CandidateScore {
-  std::string name;
-  ModelConfig config;           // with the proxy hidden size applied
-  ModelConfig original_config;  // as supplied in the pool
-  double mean_val_accuracy = 0.0;
-  double stddev = 0.0;
-  double seconds = 0.0;  // summed training time for this candidate
+  // Cooperative cancellation, polled before each candidate and (through
+  // TrainConfig) at epoch boundaries inside each proxy training. Cancelled
+  // candidates are left unscored and `interrupted` is set on the result.
+  const CancelToken* cancel = nullptr;
+  // Called as each candidate finishes, from the evaluating worker thread
+  // (concurrent when num_threads > 1) — the job layer persists completed
+  // scores here. Never called for cancelled/precomputed candidates.
+  std::function<void(int index, const CandidateScore& score)>
+      on_candidate_done;
+  // Resume support: scores for candidates already evaluated by an earlier
+  // (interrupted) run, keyed by pool index. These candidates are not
+  // retrained; their stored scores enter the ranking unchanged, so a
+  // resumed evaluation ranks identically to an uninterrupted one.
+  std::map<int, CandidateScore> precomputed;
 };
 
 struct ProxyEvalResult {
   std::vector<CandidateScore> ranked;  // descending mean validation accuracy
   double total_seconds = 0.0;
+  // True when cancellation stopped the evaluation early; `ranked` then holds
+  // only the candidates that finished (completed before the cancel).
+  bool interrupted = false;
 };
 
 ProxyEvalResult ProxyEvaluate(const std::vector<CandidateSpec>& pool,

@@ -13,7 +13,7 @@ std::vector<double> AdaptiveBeta(const std::vector<double>& val_accuracies,
                                  double avg_degree, double epsilon,
                                  double gamma, double lambda) {
   const int n = static_cast<int>(val_accuracies.size());
-  AHG_CHECK_GT(n, 0);
+  if (n == 0) return {};  // empty pool -> empty weights, not a crash
   // Min-max normalize accuracies so the softmax sees a [0, 1] spread
   // ("normalized validation accuracy" in Eqn 8).
   const double lo =
@@ -53,13 +53,33 @@ AdaptiveSearchResult SearchAdaptive(const std::vector<CandidateSpec>& pool,
     // 1..L and rank depths by validation accuracy.
     std::vector<std::pair<double, int>> acc_by_depth;  // (val acc, depth)
     for (int depth = 1; depth <= base.num_layers; ++depth) {
+      const auto key = std::make_pair(static_cast<int>(j), depth);
+      if (auto it = config.precomputed_probes.find(key);
+          it != config.precomputed_probes.end()) {
+        acc_by_depth.push_back({it->second, depth});
+        continue;
+      }
+      if (IsCancelled(config.cancel)) {
+        result.interrupted = true;
+        return result;
+      }
       ModelConfig mcfg = base;
       mcfg.num_layers = depth;
       mcfg.seed = config.seed + static_cast<uint64_t>(j) * 97 + depth;
       TrainConfig tcfg = config.train;
       tcfg.seed = mcfg.seed ^ 0xbeefULL;
+      tcfg.cancel = config.cancel;
       NodeTrainResult probe =
           TrainSingleNodeModel(mcfg, graph, split, tcfg);
+      // Mid-probe cancels leave a partial training behind — discard it so a
+      // resumed run retrains this probe from scratch (deterministically).
+      if (IsCancelled(config.cancel)) {
+        result.interrupted = true;
+        return result;
+      }
+      if (config.on_probe_done) {
+        config.on_probe_done(static_cast<int>(j), depth, probe.val_accuracy);
+      }
       acc_by_depth.push_back({probe.val_accuracy, depth});
     }
     std::stable_sort(acc_by_depth.begin(), acc_by_depth.end(),

@@ -7,11 +7,15 @@
 #ifndef AUTOHENS_CORE_SEARCH_ADAPTIVE_H_
 #define AUTOHENS_CORE_SEARCH_ADAPTIVE_H_
 
+#include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "graph/split.h"
 #include "models/model_zoo.h"
 #include "tasks/train_node.h"
+#include "util/cancel.h"
 
 namespace ahg {
 
@@ -23,6 +27,19 @@ struct AdaptiveSearchConfig {
   double lambda = 5.0;
   TrainConfig train;  // probe-training settings
   uint64_t seed = 1;
+  // Cooperative cancellation, polled before every probe training (and at
+  // epoch boundaries inside each probe through TrainConfig). On cancel the
+  // result carries `interrupted = true` and no beta/layers.
+  const CancelToken* cancel = nullptr;
+  // Called after each probe training with its validation accuracy; the job
+  // layer persists these so an interrupted search resumes without retraining.
+  std::function<void(int pool_index, int depth, double val_accuracy)>
+      on_probe_done;
+  // Resume support: validation accuracies of probes already trained by an
+  // earlier (interrupted) run, keyed by (pool index, depth). Probes found
+  // here are not retrained; every probe is independently seeded, so mixing
+  // stored and fresh probe accuracies reproduces the uninterrupted search.
+  std::map<std::pair<int, int>, double> precomputed_probes;
 };
 
 struct AdaptiveSearchResult {
@@ -30,6 +47,9 @@ struct AdaptiveSearchResult {
   std::vector<double> beta;
   std::vector<double> val_accuracies;  // per pool model (best probe depth)
   double search_seconds = 0.0;
+  // True when cancellation stopped the search before all probes ran; the
+  // per-pool outputs above are then incomplete and must not be used.
+  bool interrupted = false;
 };
 
 AdaptiveSearchResult SearchAdaptive(const std::vector<CandidateSpec>& pool,

@@ -68,7 +68,50 @@ GradientSearchResult SearchGradient(const std::vector<CandidateSpec>& pool,
   std::vector<Matrix> best_alphas;
   double best_val = -1.0;
   int epochs_since_best = 0;
-  for (int epoch = 1; epoch <= config.max_epochs; ++epoch) {
+  int start_epoch = 1;
+  if (config.resume != nullptr) {
+    const GradientSearchState& st = *config.resume;
+    AHG_CHECK_EQ(static_cast<int>(st.weight_values.size()),
+                 static_cast<int>(weight_params.size()));
+    AHG_CHECK_EQ(static_cast<int>(st.arch_values.size()),
+                 static_cast<int>(arch_params.size()));
+    for (size_t i = 0; i < weight_params.size(); ++i) {
+      weight_params[i]->value = st.weight_values[i];
+    }
+    for (size_t i = 0; i < arch_params.size(); ++i) {
+      arch_params[i]->value = st.arch_values[i];
+    }
+    weight_optimizer.RestoreState(st.weight_opt);
+    arch_optimizer.RestoreState(st.arch_opt);
+    dropout_rng.RestoreState(st.dropout_rng);
+    best_val = st.best_val;
+    best_beta_raw = st.best_beta_raw;
+    best_alphas = st.best_alphas;
+    epochs_since_best = st.epochs_since_best;
+    start_epoch = st.epoch + 1;
+  }
+  auto snapshot = [&](int epochs_done) {
+    GradientSearchState st;
+    st.epoch = epochs_done;
+    st.weight_values.reserve(weight_params.size());
+    for (const Var& p : weight_params) st.weight_values.push_back(p->value);
+    st.arch_values.reserve(arch_params.size());
+    for (const Var& p : arch_params) st.arch_values.push_back(p->value);
+    st.weight_opt = weight_optimizer.ExportState();
+    st.arch_opt = arch_optimizer.ExportState();
+    st.dropout_rng = dropout_rng.ExportState();
+    st.best_val = best_val;
+    st.best_beta_raw = best_beta_raw;
+    st.best_alphas = best_alphas;
+    st.epochs_since_best = epochs_since_best;
+    return st;
+  };
+  for (int epoch = start_epoch; epoch <= config.max_epochs; ++epoch) {
+    if (IsCancelled(config.cancel)) {
+      result.interrupted = true;
+      result.search_seconds = watch.ElapsedSeconds();
+      return result;
+    }
     // Weight step on the training loss (Algorithm 1, line 5).
     zero_grads();
     Backward(MaskedNllFromProbs(ensemble_probs(true), graph.labels(),
@@ -96,6 +139,10 @@ GradientSearchResult SearchGradient(const std::vector<CandidateSpec>& pool,
       epochs_since_best = 0;
     } else if (++epochs_since_best >= config.patience) {
       break;
+    }
+    if (config.checkpoint_every > 0 && config.on_checkpoint &&
+        epoch % config.checkpoint_every == 0) {
+      config.on_checkpoint(snapshot(epoch));
     }
   }
 

@@ -45,6 +45,7 @@ std::vector<Matrix> TrainMemberKeepWeights(const ModelConfig& config,
   double best_val = -1.0;
   int since_best = 0;
   for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    if (IsCancelled(train_config.cancel)) break;
     model->params()->ZeroGrad();
     Backward(MaskedCrossEntropy(forward_logits(true), graph.labels(),
                                 split.train));
@@ -79,32 +80,81 @@ Status EnsureDir(const std::string& dir) {
 
 }  // namespace
 
+std::vector<MemberSpec> TrainedEnsemble::PlanMembers(
+    const std::vector<CandidateSpec>& pool,
+    const std::vector<std::vector<int>>& layers, const Graph& graph,
+    const TrainConfig& train_config, uint64_t seed) {
+  AHG_CHECK_EQ(pool.size(), layers.size());
+  std::vector<MemberSpec> specs;
+  for (size_t j = 0; j < pool.size(); ++j) {
+    for (size_t k = 0; k < layers[j].size(); ++k) {
+      MemberSpec spec;
+      spec.config = pool[j].config;
+      spec.config.in_dim = graph.feature_dim();
+      spec.config.num_layers = layers[j][k];
+      spec.config.seed = seed + static_cast<uint64_t>(j) * 131 + k;
+      spec.train = train_config;
+      spec.train.seed = spec.config.seed ^ 0x2badULL;
+      spec.pool_index = static_cast<int>(j);
+      spec.num_classes = graph.num_classes();
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<Matrix> TrainedEnsemble::TrainMember(const MemberSpec& spec,
+                                                 const Graph& graph,
+                                                 const DataSplit& split) {
+  return TrainMemberKeepWeights(spec.config, graph, split, spec.train,
+                                spec.num_classes);
+}
+
+TrainedEnsemble TrainedEnsemble::FromParts(
+    const std::vector<MemberSpec>& specs,
+    std::vector<std::vector<Matrix>> params, const std::vector<double>& beta) {
+  AHG_CHECK_EQ(specs.size(), params.size());
+  TrainedEnsemble ensemble;
+  ensemble.beta_ = beta;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    AHG_CHECK_GE(specs[i].pool_index, 0);
+    AHG_CHECK_LT(specs[i].pool_index, static_cast<int>(beta.size()));
+    Member member;
+    member.config = specs[i].config;
+    member.params = std::move(params[i]);
+    member.pool_index = specs[i].pool_index;
+    member.num_classes = specs[i].num_classes;
+    ensemble.members_.push_back(std::move(member));
+  }
+  return ensemble;
+}
+
 TrainedEnsemble TrainedEnsemble::Train(
     const std::vector<CandidateSpec>& pool,
     const std::vector<std::vector<int>>& layers,
     const std::vector<double>& beta, const Graph& graph,
     const DataSplit& split, const TrainConfig& train_config, uint64_t seed) {
-  AHG_CHECK_EQ(pool.size(), layers.size());
   AHG_CHECK_EQ(pool.size(), beta.size());
-  TrainedEnsemble ensemble;
-  ensemble.beta_ = beta;
-  for (size_t j = 0; j < pool.size(); ++j) {
-    for (size_t k = 0; k < layers[j].size(); ++k) {
-      Member member;
-      member.config = pool[j].config;
-      member.config.in_dim = graph.feature_dim();
-      member.config.num_layers = layers[j][k];
-      member.config.seed = seed + static_cast<uint64_t>(j) * 131 + k;
-      member.pool_index = static_cast<int>(j);
-      member.num_classes = graph.num_classes();
-      TrainConfig tcfg = train_config;
-      tcfg.seed = member.config.seed ^ 0x2badULL;
-      member.params = TrainMemberKeepWeights(member.config, graph, split,
-                                             tcfg, graph.num_classes());
-      ensemble.members_.push_back(std::move(member));
-    }
+  const std::vector<MemberSpec> specs =
+      PlanMembers(pool, layers, graph, train_config, seed);
+  std::vector<std::vector<Matrix>> params;
+  params.reserve(specs.size());
+  for (const MemberSpec& spec : specs) {
+    params.push_back(TrainMember(spec, graph, split));
   }
-  return ensemble;
+  return FromParts(specs, std::move(params), beta);
+}
+
+int TrainedEnsemble::LeadMemberIndex() const {
+  AHG_CHECK(!members_.empty());
+  int best_pool = 0;
+  for (size_t j = 1; j < beta_.size(); ++j) {
+    if (beta_[j] > beta_[best_pool]) best_pool = static_cast<int>(j);
+  }
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].pool_index == best_pool) return static_cast<int>(i);
+  }
+  return 0;
 }
 
 Matrix TrainedEnsemble::PredictProba(const Graph& graph) const {

@@ -1,0 +1,159 @@
+#include "jobs/job_queue.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace ahg::jobs {
+
+JobQueue::JobQueue(const JobStore* store, JobEnv env)
+    : store_(store),
+      env_(std::move(env)),
+      m_submitted_(obs::MetricsRegistry::Global().GetCounter(
+          "jobs.submitted")),
+      m_completed_(obs::MetricsRegistry::Global().GetCounter(
+          "jobs.completed")),
+      m_queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "jobs.queue_depth")),
+      m_running_(obs::MetricsRegistry::Global().GetGauge("jobs.running")) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+JobQueue::~JobQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    run_cancel_.Cancel();  // pause the in-flight job at its next boundary
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+Status JobQueue::Submit(const SearchJobSpec& spec) {
+  Status s = store_->CreateJob(spec);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(spec.job_id);
+    m_queue_depth_->Set(static_cast<double>(pending_.size()));
+  }
+  m_submitted_->Increment();
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status JobQueue::Resume(const std::string& job_id) {
+  auto state = store_->LoadState(job_id);
+  if (!state.ok()) return state.status();
+  if (state.value().status != JobStatus::kQueued &&
+      state.value().status != JobStatus::kCheckpointed) {
+    return Status::InvalidArgument(
+        "job " + job_id + " is not resumable (" +
+        JobStatusName(state.value().status) + ")");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ == job_id ||
+        std::find(pending_.begin(), pending_.end(), job_id) !=
+            pending_.end()) {
+      return Status::InvalidArgument("job " + job_id + " is already active");
+    }
+    pending_.push_back(job_id);
+    m_queue_depth_->Set(static_cast<double>(pending_.size()));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> JobQueue::RecoverAndResume() {
+  auto recovered = store_->RecoverInterrupted();
+  if (!recovered.ok()) return recovered.status();
+  std::vector<std::string> enqueued;
+  for (const std::string& job_id : store_->ListJobs()) {
+    auto state = store_->LoadState(job_id);
+    if (!state.ok()) return state.status();
+    if (state.value().status != JobStatus::kQueued &&
+        state.value().status != JobStatus::kCheckpointed) {
+      continue;
+    }
+    Status s = Resume(job_id);
+    if (!s.ok()) return s;
+    enqueued.push_back(job_id);
+  }
+  return enqueued;
+}
+
+Status JobQueue::Cancel(const std::string& job_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ == job_id) {
+      run_cancel_.Cancel();
+      return Status::OK();
+    }
+    auto it = std::find(pending_.begin(), pending_.end(), job_id);
+    if (it != pending_.end()) {
+      pending_.erase(it);
+      m_queue_depth_->Set(static_cast<double>(pending_.size()));
+      auto state = store_->LoadState(job_id);
+      if (!state.ok()) return state.status();
+      JobState next = state.value();
+      next.status = JobStatus::kCancelled;
+      next.message = "cancelled while queued";
+      return store_->SaveState(job_id, next);
+    }
+  }
+  return Status::NotFound("job " + job_id + " is not queued or running");
+}
+
+void JobQueue::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_.empty() && running_.empty(); });
+}
+
+StatusOr<SearchJobOutcome> JobQueue::Outcome(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = run_errors_.find(job_id); it != run_errors_.end()) {
+    return it->second;
+  }
+  if (auto it = outcomes_.find(job_id); it != outcomes_.end()) {
+    return it->second;
+  }
+  return Status::NotFound("no completed run for job " + job_id);
+}
+
+void JobQueue::WorkerLoop() {
+  for (;;) {
+    std::string job_id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+      job_id = pending_.front();
+      pending_.pop_front();
+      m_queue_depth_->Set(static_cast<double>(pending_.size()));
+      running_ = job_id;
+      run_cancel_.Reset();
+      m_running_->Set(1.0);
+    }
+    AHG_TRACE_SPAN("jobs/worker_run");
+    JobEnv env = env_;
+    env.cancel = &run_cancel_;
+    SearchJob job(store_, job_id);
+    StatusOr<SearchJobOutcome> outcome = job.Run(env);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outcome.ok()) {
+        outcomes_[job_id] = std::move(outcome.value());
+        run_errors_.erase(job_id);
+      } else {
+        run_errors_[job_id] = outcome.status();
+      }
+      running_.clear();
+      m_running_->Set(0.0);
+      m_completed_->Increment();
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace ahg::jobs

@@ -1,0 +1,97 @@
+// In-process job queue + single worker thread for the AutoML job service.
+//
+// Submit() persists the spec into the JobStore (durable before it is
+// runnable) and enqueues the id; the worker pops ids FIFO and drives
+// SearchJob::Run with the queue's JobEnv. One worker is deliberate: search
+// jobs parallelize internally (proxy candidates fan out on the training
+// thread pool), so job-level concurrency would just oversubscribe cores.
+//
+// Lifecycle surface:
+//   * Cancel(id) flips the running job's CancelToken (it pauses at the next
+//     unit boundary, state kCheckpointed, resumable) or unqueues a waiting
+//     job (terminal kCancelled).
+//   * Resume(id) re-enqueues a kCheckpointed job.
+//   * Stop() cancels the in-flight job and joins the worker; whatever was
+//     running lands checkpointed on disk, so a new queue (or process) picks
+//     it up with RecoverAndResume().
+//
+// Metrics: "jobs.submitted", "jobs.completed", gauges "jobs.queue_depth"
+// and "jobs.running" on top of SearchJob's per-stage counters.
+#ifndef AUTOHENS_JOBS_JOB_QUEUE_H_
+#define AUTOHENS_JOBS_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jobs/job_store.h"
+#include "jobs/search_job.h"
+#include "obs/metrics.h"
+#include "util/cancel.h"
+
+namespace ahg::jobs {
+
+class JobQueue {
+ public:
+  // `env.cancel` is overwritten per job with the queue's own token; all
+  // other JobEnv fields are used as given and must outlive the queue.
+  JobQueue(const JobStore* store, JobEnv env);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Persists the spec (JobStore::CreateJob) and enqueues it.
+  Status Submit(const SearchJobSpec& spec);
+
+  // Re-enqueues an existing kQueued / kCheckpointed job.
+  Status Resume(const std::string& job_id);
+
+  // Flips dead-worker kRunning jobs to kCheckpointed (JobStore recovery)
+  // and enqueues every resumable job. Returns the ids enqueued.
+  StatusOr<std::vector<std::string>> RecoverAndResume();
+
+  // Pause/cancel: a running job checkpoints and pauses at its next unit
+  // boundary; a queued job is removed and marked terminal kCancelled.
+  Status Cancel(const std::string& job_id);
+
+  // Blocks until the queue is empty and no job is running.
+  void WaitIdle();
+
+  // Outcome of a finished (published / checkpointed / failed) run, in
+  // arrival order. Missing id -> NotFound.
+  StatusOr<SearchJobOutcome> Outcome(const std::string& job_id) const;
+
+  const JobStore* store() const { return store_; }
+
+ private:
+  void WorkerLoop();
+
+  const JobStore* store_;
+  JobEnv env_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals the worker
+  std::condition_variable idle_cv_;   // signals WaitIdle
+  std::deque<std::string> pending_;
+  std::string running_;               // empty when idle
+  CancelToken run_cancel_;
+  bool stop_ = false;
+  std::map<std::string, SearchJobOutcome> outcomes_;
+  std::map<std::string, Status> run_errors_;
+
+  obs::Counter* const m_submitted_;
+  obs::Counter* const m_completed_;
+  obs::Gauge* const m_queue_depth_;
+  obs::Gauge* const m_running_;
+
+  std::thread worker_;
+};
+
+}  // namespace ahg::jobs
+
+#endif  // AUTOHENS_JOBS_JOB_QUEUE_H_

@@ -1,0 +1,92 @@
+// A durable, resumable AutoHEnsGNN search job (ROADMAP open item 5).
+//
+// SearchJob::Run drives the pipeline stages — proxy ranking, architecture
+// search (hierarchical / adaptive / gradient), final ensemble training,
+// registry publication — while persisting cumulative progress to a JobStore
+// checkpoint at every unit boundary:
+//   * per proxy candidate (independently seeded, so completed candidates
+//     are skipped verbatim on resume),
+//   * per adaptive probe (ditto),
+//   * every `gradient_checkpoint_every` epochs of the co-trained gradient
+//     search (a full-state snapshot: weights, both Adam moments, dropout
+//     RNG position, best-epoch tracking),
+//   * per final-train member (independently seeded).
+//
+// Because every skipped unit is replayed from stored bits and every live
+// unit re-derives its seed from the spec, a run killed (SIGKILL) at any
+// checkpoint boundary and resumed produces a final ensemble artifact that
+// is byte-for-byte identical to an uninterrupted run — the property
+// tests/jobs_test.cc proves by memcmp over the serialized ensemble
+// directory for all three algorithms.
+#ifndef AUTOHENS_JOBS_SEARCH_JOB_H_
+#define AUTOHENS_JOBS_SEARCH_JOB_H_
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "graph/graph.h"
+#include "graph/split.h"
+#include "jobs/job_store.h"
+#include "serve/model_registry.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace ahg::jobs {
+
+// Everything a job needs at runtime but must not be persisted: the data,
+// the serving plane, cancellation, and test-only fault injection.
+struct JobEnv {
+  const Graph* graph = nullptr;
+  const DataSplit* split = nullptr;
+  // Publication target; empty disables publish (the ensemble artifact is
+  // still written to the job store).
+  std::string registry_dir;
+  // Refreshed after a publish so the serving plane sees the new version.
+  serve::ModelRegistry* registry = nullptr;
+  // When set, Rollout(spec.publish_version) after the refresh: live traffic
+  // flips to the new version mid-flight (the publish -> rollout handshake).
+  fabric::ServingFabric* fabric = nullptr;
+  // Cooperative pause/cancel, polled at unit boundaries. A cancelled run
+  // transitions to kCheckpointed and is resumable.
+  const CancelToken* cancel = nullptr;
+  // Fault injection for kill tests: raise(SIGKILL) immediately after the
+  // N-th successful checkpoint write of this attempt (0 disables). The
+  // process dies with a fully written, renamed checkpoint on disk.
+  int kill_after_checkpoints = 0;
+};
+
+struct SearchJobOutcome {
+  JobStatus status = JobStatus::kFailed;
+  bool resumed = false;  // this attempt started from a checkpoint
+  std::vector<std::string> pool_names;
+  std::vector<std::vector<int>> layers;
+  std::vector<double> beta;
+  double ensemble_val_accuracy = 0.0;
+  int published_version = 0;  // 0 when publication was disabled
+  std::string ensemble_dir;
+  int checkpoints_written = 0;  // this attempt only
+  double run_seconds = 0.0;
+};
+
+class SearchJob {
+ public:
+  SearchJob(const JobStore* store, std::string job_id)
+      : store_(store), job_id_(std::move(job_id)) {}
+
+  // Runs (or resumes) the job to its next boundary: kPublished on success,
+  // kCheckpointed when cancelled or paused (resumable — call Run again),
+  // with the job store's state.tsv updated to match. Errors (I/O, invalid
+  // spec) mark the job kFailed and propagate as a non-OK status.
+  StatusOr<SearchJobOutcome> Run(const JobEnv& env);
+
+  const std::string& job_id() const { return job_id_; }
+
+ private:
+  const JobStore* store_;
+  const std::string job_id_;
+};
+
+}  // namespace ahg::jobs
+
+#endif  // AUTOHENS_JOBS_SEARCH_JOB_H_

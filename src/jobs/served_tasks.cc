@@ -1,0 +1,227 @@
+#include "jobs/served_tasks.h"
+
+#include <cmath>
+#include <csignal>
+
+#include "autodiff/ops.h"
+#include "io/model_store.h"
+#include "metrics/metrics.h"
+#include "models/graph_level.h"
+#include "models/link_encoder.h"
+#include "nn/linear.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace ahg::jobs {
+namespace {
+
+obs::Counter* JobCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+// Per-candidate seed derivation: every candidate trains in its own seed
+// domain regardless of evaluation order, the basis of the resume guarantee.
+uint64_t CandidateSeed(uint64_t job_seed, int index) {
+  return job_seed + static_cast<uint64_t>(index + 1) * 101;
+}
+
+}  // namespace
+
+StatusOr<TaskJobOutcome> TaskJob::Run(const TaskEnv& env) {
+  AHG_TRACE_SPAN("jobs/task_run");
+  auto spec_or = store_->LoadTaskJobSpec(job_id_);
+  if (!spec_or.ok()) return spec_or.status();
+  const TaskJobSpec spec = std::move(spec_or.value());
+  if (spec.candidates.empty()) {
+    return Status::InvalidArgument("task spec has no candidates");
+  }
+  if (spec.kind == TaskKind::kLinkPrediction && env.link == nullptr) {
+    return Status::InvalidArgument("link task needs TaskEnv.link");
+  }
+  if (spec.kind == TaskKind::kGraphClassification &&
+      (env.graph_set == nullptr || env.graph_split == nullptr)) {
+    return Status::InvalidArgument(
+        "graph task needs TaskEnv.graph_set and graph_split");
+  }
+  auto state_or = store_->LoadState(job_id_);
+  if (!state_or.ok()) return state_or.status();
+  JobState state = std::move(state_or.value());
+  if (state.status == JobStatus::kPublished ||
+      state.status == JobStatus::kFailed ||
+      state.status == JobStatus::kCancelled) {
+    return Status::InvalidArgument("job " + job_id_ + " is terminal (" +
+                                   JobStatusName(state.status) + ")");
+  }
+
+  TaskJobOutcome outcome;
+  TaskJobCheckpoint ckpt;
+  if (store_->HasTaskCheckpoint(job_id_)) {
+    auto ckpt_or = store_->LoadTaskJobCheckpoint(job_id_);
+    if (!ckpt_or.ok()) return ckpt_or.status();
+    ckpt = std::move(ckpt_or.value());
+    outcome.resumed = true;
+    JobCounter("jobs.resumed")->Increment();
+  }
+  JobCounter("jobs.started")->Increment();
+  state.status = JobStatus::kRunning;
+  ++state.attempts;
+  Status s = store_->SaveState(job_id_, state);
+  if (!s.ok()) return s;
+
+  int written = 0;
+  auto write_ckpt = [&]() -> Status {
+    Status ws = store_->SaveTaskJobCheckpoint(job_id_, ckpt);
+    if (!ws.ok()) return ws;
+    ++written;
+    ++state.checkpoints_written;
+    JobCounter("jobs.checkpoints")->Increment();
+    if (env.kill_after_checkpoints > 0 &&
+        written >= env.kill_after_checkpoints) {
+      raise(SIGKILL);
+    }
+    return Status::OK();
+  };
+  auto fail_job = [&](Status why) -> StatusOr<TaskJobOutcome> {
+    state.status = JobStatus::kFailed;
+    state.message = why.ToString();
+    (void)store_->SaveState(job_id_, state);
+    JobCounter("jobs.failed")->Increment();
+    return why;
+  };
+  auto pause_job = [&](const std::string& where) {
+    state.status = JobStatus::kCheckpointed;
+    state.message = where;
+    Status ps = store_->SaveState(job_id_, state);
+    JobCounter("jobs.paused")->Increment();
+    outcome.status = JobStatus::kCheckpointed;
+    outcome.checkpoints_written = written;
+    StatusOr<TaskJobOutcome> out(std::move(outcome));
+    if (!ps.ok()) out = ps;
+    return out;
+  };
+
+  for (size_t i = 0; i < spec.candidates.size(); ++i) {
+    if (ckpt.scores.count(static_cast<int>(i)) > 0) continue;
+    if (IsCancelled(env.cancel)) {
+      return pause_job("cancelled during candidate search");
+    }
+    AHG_TRACE_SPAN_ARG("jobs/task_candidate", static_cast<int64_t>(i));
+    ModelConfig mcfg = spec.candidates[i].config;
+    mcfg.seed = CandidateSeed(spec.seed, static_cast<int>(i));
+    TrainConfig tcfg = spec.train;
+    tcfg.seed = mcfg.seed ^ 0x71a5ULL;
+    tcfg.cancel = env.cancel;
+    double metric = 0.0;
+    std::vector<Matrix> params;
+    if (spec.kind == TaskKind::kLinkPrediction) {
+      mcfg.in_dim = env.link->train_graph.feature_dim();
+      LinkTrainResult trained =
+          TrainLinkModel(mcfg, *env.link, tcfg, &params);
+      metric = trained.val_auc;
+    } else {
+      mcfg.in_dim = env.graph_set->feature_dim;
+      GraphTrainResult trained =
+          TrainGraphClassifier(mcfg, *env.graph_set, *env.graph_split, tcfg,
+                               &params);
+      metric = trained.val_accuracy;
+    }
+    // A cancel mid-training left a partial result; the resumed run must
+    // retrain this candidate from scratch.
+    if (IsCancelled(env.cancel)) {
+      return pause_job("cancelled during candidate search");
+    }
+    ckpt.scores[static_cast<int>(i)] = metric;
+    if (ckpt.best_index < 0 || metric > ckpt.scores.at(ckpt.best_index)) {
+      ckpt.best_index = static_cast<int>(i);
+      ckpt.best_config = mcfg;
+      ckpt.best_params = std::move(params);
+    }
+    s = write_ckpt();
+    if (!s.ok()) return fail_job(s);
+  }
+
+  if (!ckpt.done) {
+    s = SaveModel(store_->WinnerPath(job_id_), ckpt.best_config,
+                  ckpt.best_params);
+    if (!s.ok()) return fail_job(s);
+    ckpt.done = true;
+    s = write_ckpt();
+    if (!s.ok()) return fail_job(s);
+  }
+
+  state.status = JobStatus::kPublished;
+  state.message = "ok";
+  s = store_->SaveState(job_id_, state);
+  if (!s.ok()) return fail_job(s);
+  JobCounter("jobs.published")->Increment();
+  outcome.status = JobStatus::kPublished;
+  outcome.best_index = ckpt.best_index;
+  outcome.best_name = spec.candidates[ckpt.best_index].name;
+  outcome.best_metric = ckpt.scores.at(ckpt.best_index);
+  outcome.winner_path = store_->WinnerPath(job_id_);
+  outcome.checkpoints_written = written;
+  return outcome;
+}
+
+StatusOr<LinkScorer> LinkScorer::Load(const std::string& winner_path) {
+  auto loaded = LoadModel(winner_path);
+  if (!loaded.ok()) return loaded.status();
+  LinkScorer scorer;
+  scorer.config_ = loaded.value().config;
+  scorer.params_ = std::move(loaded.value().params);
+  return scorer;
+}
+
+std::vector<double> LinkScorer::Score(
+    const Graph& graph, const std::vector<NodePair>& pairs) const {
+  AHG_CHECK_EQ(config_.in_dim, graph.feature_dim());
+  std::unique_ptr<GnnModel> model = BuildModel(config_);
+  model->params()->Restore(params_);
+  const Matrix z = model->ForwardInference(graph, graph.features());
+  Var logits = ScorePairs(MakeConstant(z), pairs);
+  std::vector<double> scores(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    scores[i] = 1.0 / (1.0 + std::exp(-logits->value(static_cast<int>(i), 0)));
+  }
+  return scores;
+}
+
+StatusOr<GraphSetScorer> GraphSetScorer::Load(const std::string& winner_path,
+                                              int num_classes) {
+  auto loaded = LoadModel(winner_path);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded.value().params.size() < 2) {
+    return Status::InvalidArgument("winner model is missing a head");
+  }
+  GraphSetScorer scorer;
+  scorer.config_ = loaded.value().config;
+  scorer.params_ = std::move(loaded.value().params);
+  scorer.num_classes_ = num_classes;
+  const Matrix& bias = scorer.params_.back();
+  if (bias.rows() != 1 || bias.cols() != num_classes) {
+    return Status::InvalidArgument("winner head does not match class count");
+  }
+  return scorer;
+}
+
+Matrix GraphSetScorer::PredictProba(const GraphSet& set) const {
+  AHG_CHECK_EQ(config_.in_dim, set.feature_dim);
+  std::vector<int> all_indices(set.graphs.size());
+  for (size_t i = 0; i < set.graphs.size(); ++i) {
+    all_indices[i] = static_cast<int>(i);
+  }
+  const GraphBatch batch = BatchGraphs(set, all_indices);
+  std::unique_ptr<GnnModel> model = BuildModel(config_);
+  // Reconstruct the training-time head registration so the stored snapshot
+  // (model weights + head W + head b) restores shape-by-shape.
+  Rng head_rng(config_.seed ^ 0x51ed2701ULL);
+  Linear head(model->params(), config_.hidden_dim, num_classes_,
+              /*bias=*/true, &head_rng);
+  model->params()->Restore(params_);
+  std::vector<Var> pooled = PooledLayerOutputs(
+      model.get(), batch, /*training=*/false, nullptr, /*mean_pool=*/false);
+  return RowSoftmax(head.Apply(pooled.back())->value);
+}
+
+}  // namespace ahg::jobs

@@ -1,0 +1,106 @@
+// Served downstream tasks driven through the job machinery: the paper's
+// edge-prediction (Table VIII) and graph-classification (Table IX) settings
+// run as durable TaskJobs — a grid search over candidate encoders with one
+// checkpoint per candidate — and the winning model is persisted as
+// winner.ahgm and served by the scorers below.
+//
+// The resume guarantee matches SearchJob's: candidates are independently
+// seeded, completed candidates replay from stored bits, so a killed-and-
+// resumed job writes a winner file byte-for-byte identical to an
+// uninterrupted run's.
+#ifndef AUTOHENS_JOBS_SERVED_TASKS_H_
+#define AUTOHENS_JOBS_SERVED_TASKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_set.h"
+#include "graph/split.h"
+#include "jobs/job_store.h"
+#include "models/model.h"
+#include "tasks/train_graph.h"
+#include "tasks/train_link.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace ahg::jobs {
+
+struct TaskEnv {
+  // Exactly one of the two data bindings must match the spec's kind.
+  const LinkSplit* link = nullptr;  // kLinkPrediction
+  const GraphSet* graph_set = nullptr;  // kGraphClassification
+  const GraphSetSplit* graph_split = nullptr;
+  const CancelToken* cancel = nullptr;
+  // Fault injection as in JobEnv: SIGKILL after the N-th checkpoint write.
+  int kill_after_checkpoints = 0;
+};
+
+struct TaskJobOutcome {
+  JobStatus status = JobStatus::kFailed;
+  bool resumed = false;
+  int best_index = -1;
+  std::string best_name;
+  double best_metric = 0.0;  // validation AUC (link) or accuracy (graph)
+  std::string winner_path;
+  int checkpoints_written = 0;
+};
+
+class TaskJob {
+ public:
+  TaskJob(const JobStore* store, std::string job_id)
+      : store_(store), job_id_(std::move(job_id)) {}
+
+  // Runs (or resumes) the grid search; kPublished once winner.ahgm is
+  // written, kCheckpointed when cancelled mid-search (resumable).
+  StatusOr<TaskJobOutcome> Run(const TaskEnv& env);
+
+ private:
+  const JobStore* store_;
+  const std::string job_id_;
+};
+
+// Serves a link-prediction winner: embeds the graph with the stored encoder
+// (eval mode, no dropout) and scores node pairs with the dot-product
+// decoder, exactly reproducing the training-time validation scores.
+class LinkScorer {
+ public:
+  // Empty until Load() succeeds (public default construction is what lets
+  // StatusOr<LinkScorer> hold the error arm).
+  LinkScorer() = default;
+
+  static StatusOr<LinkScorer> Load(const std::string& winner_path);
+
+  std::vector<double> Score(const Graph& graph,
+                            const std::vector<NodePair>& pairs) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::vector<Matrix> params_;
+};
+
+// Serves a graph-classification winner: pooled readout + classifier head
+// over a whole GraphSet, returning per-graph class probabilities.
+class GraphSetScorer {
+ public:
+  // Empty until Load() succeeds (see LinkScorer).
+  GraphSetScorer() = default;
+
+  static StatusOr<GraphSetScorer> Load(const std::string& winner_path,
+                                       int num_classes);
+
+  Matrix PredictProba(const GraphSet& set) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::vector<Matrix> params_;  // model weights + head W + head b
+  int num_classes_ = 0;
+};
+
+}  // namespace ahg::jobs
+
+#endif  // AUTOHENS_JOBS_SERVED_TASKS_H_

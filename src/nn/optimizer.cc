@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/logging.h"
+
 namespace ahg {
 
 Adam::Adam(std::vector<Var> params, const AdamConfig& config)
@@ -35,6 +37,30 @@ void Adam::Step() {
               (std::sqrt(v_hat) + config_.epsilon);
     }
   }
+}
+
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.m = m_;
+  state.v = v_;
+  state.step = step_;
+  state.learning_rate = config_.learning_rate;
+  return state;
+}
+
+void Adam::RestoreState(const AdamState& state) {
+  AHG_CHECK_EQ(state.m.size(), params_.size());
+  AHG_CHECK_EQ(state.v.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    AHG_CHECK_EQ(state.m[i].rows(), params_[i]->value.rows());
+    AHG_CHECK_EQ(state.m[i].cols(), params_[i]->value.cols());
+    AHG_CHECK_EQ(state.v[i].rows(), params_[i]->value.rows());
+    AHG_CHECK_EQ(state.v[i].cols(), params_[i]->value.cols());
+  }
+  m_ = state.m;
+  v_ = state.v;
+  step_ = state.step;
+  config_.learning_rate = state.learning_rate;
 }
 
 Sgd::Sgd(std::vector<Var> params, double learning_rate, double weight_decay)

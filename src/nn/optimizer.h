@@ -29,6 +29,16 @@ class Optimizer {
   virtual double learning_rate() const = 0;
 };
 
+// Complete Adam moment state, exposed so checkpoint/resume paths (src/jobs)
+// can persist an optimizer mid-run: a restored Adam applies the identical
+// update sequence bit-for-bit.
+struct AdamState {
+  std::vector<Matrix> m;
+  std::vector<Matrix> v;
+  int64_t step = 0;
+  double learning_rate = 0.0;  // captures caller-driven LR decay
+};
+
 class Adam : public Optimizer {
  public:
   Adam(std::vector<Var> params, const AdamConfig& config);
@@ -36,6 +46,11 @@ class Adam : public Optimizer {
   void Step() override;
   void set_learning_rate(double lr) override { config_.learning_rate = lr; }
   double learning_rate() const override { return config_.learning_rate; }
+
+  // Snapshot / restore of the moment vectors, step count and learning rate.
+  // RestoreState checks the state against the parameter list shape-by-shape.
+  AdamState ExportState() const;
+  void RestoreState(const AdamState& state);
 
  private:
   std::vector<Var> params_;

@@ -31,7 +31,8 @@ GraphSetSplit RandomGraphSetSplit(const GraphSet& set, double train_fraction,
 GraphTrainResult TrainGraphClassifier(const ModelConfig& model_config,
                                       const GraphSet& set,
                                       const GraphSetSplit& split,
-                                      const TrainConfig& train_config) {
+                                      const TrainConfig& train_config,
+                                      std::vector<Matrix>* best_params) {
   Stopwatch watch;
   // One merged batch over the whole set; masks pick the partition, exactly
   // like transductive node classification.
@@ -60,8 +61,10 @@ GraphTrainResult TrainGraphClassifier(const ModelConfig& model_config,
   };
 
   GraphTrainResult result;
+  if (best_params != nullptr) *best_params = model->params()->Snapshot();
   int epochs_since_best = 0;
   for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    if (IsCancelled(train_config.cancel)) break;
     model->params()->ZeroGrad();
     Var loss =
         MaskedCrossEntropy(forward_logits(true), set.labels, split.train);
@@ -80,6 +83,7 @@ GraphTrainResult TrainGraphClassifier(const ModelConfig& model_config,
     if (epoch == 1 || val_acc > result.val_accuracy) {
       result.val_accuracy = val_acc;
       result.probs = probs;
+      if (best_params != nullptr) *best_params = model->params()->Snapshot();
       epochs_since_best = 0;
     } else if (++epochs_since_best >= train_config.patience) {
       break;

@@ -28,10 +28,16 @@ struct GraphTrainResult {
   double train_seconds = 0.0;
 };
 
+// When `best_params` is non-null it receives the best-validation snapshot
+// of the model weights plus the pooled classifier head (last two tensors),
+// so a search job's winner can be persisted and served without retraining.
+// Honors train_config.cancel at epoch boundaries.
 GraphTrainResult TrainGraphClassifier(const ModelConfig& model_config,
                                       const GraphSet& set,
                                       const GraphSetSplit& split,
-                                      const TrainConfig& train_config);
+                                      const TrainConfig& train_config,
+                                      std::vector<Matrix>* best_params =
+                                          nullptr);
 
 }  // namespace ahg
 

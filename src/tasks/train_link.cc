@@ -36,7 +36,8 @@ std::vector<int> LinkLabels(int num_pos, int num_neg) {
 
 LinkTrainResult TrainLinkModel(const ModelConfig& model_config,
                                const LinkSplit& split,
-                               const TrainConfig& train_config) {
+                               const TrainConfig& train_config,
+                               std::vector<Matrix>* best_params) {
   Stopwatch watch;
   const Graph& graph = split.train_graph;
   ModelConfig cfg = model_config;
@@ -78,8 +79,10 @@ LinkTrainResult TrainLinkModel(const ModelConfig& model_config,
   };
 
   LinkTrainResult result;
+  if (best_params != nullptr) *best_params = model->params()->Snapshot();
   int epochs_since_best = 0;
   for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    if (IsCancelled(train_config.cancel)) break;
     model->params()->ZeroGrad();
     Var loss =
         BceWithLogits(ScorePairs(embed(true), train_pairs), train_targets);
@@ -100,6 +103,7 @@ LinkTrainResult TrainLinkModel(const ModelConfig& model_config,
       result.val_scores = val_scores;
       result.test_scores = SigmoidScores(ScorePairs(z, test_pairs));
       result.test_auc = RocAuc(result.test_scores, test_labels);
+      if (best_params != nullptr) *best_params = model->params()->Snapshot();
       epochs_since_best = 0;
     } else if (++epochs_since_best >= train_config.patience) {
       break;

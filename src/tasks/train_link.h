@@ -25,9 +25,14 @@ struct LinkTrainResult {
 // 1-labels for positives followed by 0-labels for negatives.
 std::vector<int> LinkLabels(int num_pos, int num_neg);
 
+// When `best_params` is non-null it receives the encoder's best-validation
+// weight snapshot (ParameterStore order), so the winner of a search job can
+// be persisted and served without retraining. Honors train_config.cancel at
+// epoch boundaries (best-so-far result, partial snapshot).
 LinkTrainResult TrainLinkModel(const ModelConfig& model_config,
                                const LinkSplit& split,
-                               const TrainConfig& train_config);
+                               const TrainConfig& train_config,
+                               std::vector<Matrix>* best_params = nullptr);
 
 }  // namespace ahg
 

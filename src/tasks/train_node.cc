@@ -59,6 +59,7 @@ NodeTrainResult TrainSingleNodeModel(const ModelConfig& model_config,
   static obs::Counter* epochs_counter =
       obs::MetricsRegistry::Global().GetCounter("train.epochs");
   for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    if (IsCancelled(train_config.cancel)) break;
     AHG_TRACE_SPAN_ARG("train/epoch", epoch);
     epochs_counter->Increment();
     // Train step.
@@ -106,6 +107,7 @@ NodeTrainResult GridSearchTrain(const ModelConfig& model_config,
   bool first = true;
   for (double lr : space.learning_rates) {
     for (double dropout : space.dropouts) {
+      if (IsCancelled(train_config.cancel)) return best;
       ModelConfig mcfg = model_config;
       mcfg.dropout = dropout;
       TrainConfig tcfg = train_config;

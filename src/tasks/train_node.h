@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "graph/split.h"
 #include "models/model.h"
+#include "util/cancel.h"
 
 namespace ahg {
 
@@ -32,6 +33,11 @@ struct TrainConfig {
   // Use fused single-pass kernels (Linear+ReLU, masked-row cross-entropy).
   // Bitwise-neutral; independent of `pooling`.
   bool fusion = false;
+  // Optional cooperative cancellation, polled at epoch boundaries. A
+  // cancelled run returns its best-so-far result early; callers that need
+  // complete results must check the token after the call. Not owned; must
+  // outlive the run. Safe to set from another thread.
+  const CancelToken* cancel = nullptr;
 };
 
 struct NodeTrainResult {

@@ -1,0 +1,43 @@
+// Cooperative cancellation for long-running pipelines (proxy evaluation,
+// architecture search, final training). A CancelToken is a sticky flag the
+// owner sets from any thread; workers poll it at natural boundaries —
+// candidate, probe, epoch — and unwind cleanly, leaving whatever durable
+// checkpoints they have already written intact. Cancellation is advisory:
+// a loop that never polls simply finishes its unit of work first.
+#ifndef AUTOHENS_UTIL_CANCEL_H_
+#define AUTOHENS_UTIL_CANCEL_H_
+
+#include <atomic>
+
+namespace ahg {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation. Idempotent and safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // Re-arms the token so it can gate another run (single-owner only; do not
+  // reset while workers still poll the previous run).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Convenience for optional-token call sites: a null token never cancels.
+inline bool IsCancelled(const CancelToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace ahg
+
+#endif  // AUTOHENS_UTIL_CANCEL_H_

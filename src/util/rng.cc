@@ -92,4 +92,18 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   return indices;
 }
 
+RngState Rng::ExportState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_spare_normal = has_spare_normal_;
+  state.spare_normal = spare_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_spare_normal_ = state.has_spare_normal;
+  spare_normal_ = state.spare_normal;
+}
+
 }  // namespace ahg

@@ -11,6 +11,14 @@
 
 namespace ahg {
 
+// Full generator state, exposed so checkpoint/resume paths (src/jobs) can
+// persist an Rng mid-stream and continue the identical draw sequence.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_spare_normal = false;
+  double spare_normal = 0.0;
+};
+
 // xoshiro256** generator seeded via splitmix64. Not thread-safe; use one
 // instance per thread (Fork() derives an independent stream).
 class Rng {
@@ -50,6 +58,11 @@ class Rng {
 
   // Returns k distinct indices sampled uniformly from [0, n).
   std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Snapshot / restore of the exact generator state: a restored Rng
+  // produces the same draw sequence bit-for-bit as the original would have.
+  RngState ExportState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

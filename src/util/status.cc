@@ -19,6 +19,8 @@ const char* CodeName(Status::Code code) {
       return "DeadlineExceeded";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

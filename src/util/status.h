@@ -21,6 +21,7 @@ class Status {
     kInternal,
     kDeadlineExceeded,    // request missed its latency budget (serving)
     kResourceExhausted,   // admission control rejected the request (serving)
+    kCancelled,           // cooperative cancellation was requested (jobs)
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +44,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,5 +1,7 @@
 // Tests of the paper's core machinery: GSE, proxy evaluation, both search
 // algorithms, the hierarchical retraining stage, and the adaptive-beta rule.
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "core/autohens.h"
@@ -164,6 +166,57 @@ TEST(AdaptiveBetaTest, EqualAccuraciesGiveUniform) {
   for (double b : beta) EXPECT_NEAR(b, 1.0 / 3.0, 1e-9);
 }
 
+TEST(AdaptiveBetaTest, EmptyPoolReturnsEmptyWeights) {
+  EXPECT_TRUE(AdaptiveBeta({}, 3.0, 3, 8000, 5).empty());
+}
+
+TEST(AdaptiveBetaTest, TiedAccuraciesSplitUniformlyAtAnyLevel) {
+  // Min-max normalization degenerates when hi == lo; the tie must split the
+  // weight evenly whether the shared accuracy is zero, middling, or perfect.
+  for (double acc : {0.0, 0.5, 1.0}) {
+    std::vector<double> beta =
+        AdaptiveBeta({acc, acc, acc, acc}, 5.0, 3, 8000, 5);
+    ASSERT_EQ(beta.size(), 4u);
+    for (double b : beta) EXPECT_NEAR(b, 0.25, 1e-12);
+  }
+}
+
+TEST(AdaptiveBetaTest, ZeroEdgeGraphIsFiniteAndSharpest) {
+  // An edgeless graph has average degree 0: log(0 + 1) = 0 keeps the density
+  // term finite, and the resulting tau is the smallest over all densities,
+  // so the softmax is at its sharpest.
+  std::vector<double> zero = AdaptiveBeta({0.9, 0.3}, 0.0, 3, 100, 5);
+  std::vector<double> denser = AdaptiveBeta({0.9, 0.3}, 2.0, 3, 100, 5);
+  ASSERT_EQ(zero.size(), 2u);
+  for (double b : zero) {
+    EXPECT_TRUE(std::isfinite(b));
+    EXPECT_GE(b, 0.0);
+  }
+  EXPECT_NEAR(zero[0] + zero[1], 1.0, 1e-9);
+  EXPECT_GE(zero[0], denser[0]);
+}
+
+TEST(AdaptiveBetaTest, ExtremeLambdaStaysNormalized) {
+  // lambda = 1e6 overflows pow(density, lambda) to +inf; tau -> inf must
+  // yield the uniform distribution, never NaN.
+  std::vector<double> flat = AdaptiveBeta({0.9, 0.6, 0.3}, 5.0, 3, 8000, 1e6);
+  for (double b : flat) {
+    EXPECT_TRUE(std::isfinite(b));
+    EXPECT_NEAR(b, 1.0 / 3.0, 1e-9);
+  }
+  // lambda = -1e6 underflows the pow to 0; tau -> 1 is the sharp extreme and
+  // must still produce a valid distribution favouring the best model.
+  std::vector<double> sharp =
+      AdaptiveBeta({0.9, 0.6, 0.3}, 5.0, 3, 8000, -1e6);
+  double total = 0.0;
+  for (double b : sharp) {
+    EXPECT_TRUE(std::isfinite(b));
+    total += b;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(sharp[0], sharp[2]);
+}
+
 TEST(SearchAdaptiveTest, ProducesValidLayersAndBeta) {
   AdaptiveSearchConfig cfg;
   cfg.k = 2;
@@ -299,6 +352,140 @@ TEST(AutoHEnsTest, FixedPoolSkipsSelection) {
   EXPECT_EQ(result.selection_seconds, 0.0);
   EXPECT_EQ(result.pool_names,
             (std::vector<std::string>{"GCN", "SGC"}));
+}
+
+// --- Cooperative cancellation -------------------------------------------
+// Each pipeline stage polls its CancelToken at unit boundaries (candidate,
+// probe, epoch) and unwinds with `interrupted` set instead of finishing.
+
+TEST(CancelTest, PreCancelledProxyEvalScoresNothing) {
+  CancelToken cancel;
+  cancel.Cancel();
+  ProxyConfig cfg;
+  cfg.bagging = 1;
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 5;
+  cfg.cancel = &cancel;
+  ProxyEvalResult result = ProxyEvaluate(TinyPool(), TestGraph(), cfg, 3);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.ranked.empty());
+}
+
+TEST(CancelTest, ProxyEvalStopsAfterFirstCandidate) {
+  CancelToken cancel;
+  ProxyConfig cfg;
+  cfg.bagging = 1;
+  cfg.num_threads = 1;  // sequential, so the count below is deterministic
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 5;
+  cfg.cancel = &cancel;
+  cfg.on_candidate_done = [&](int, const CandidateScore&) { cancel.Cancel(); };
+  ProxyEvalResult result = ProxyEvaluate(TinyPool(), TestGraph(), cfg, 3);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.ranked.size(), 1u);
+}
+
+TEST(CancelTest, AdaptiveSearchStopsBetweenProbes) {
+  CancelToken cancel;
+  AdaptiveSearchConfig cfg;
+  cfg.k = 2;
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 5;
+  cfg.seed = 6;
+  cfg.cancel = &cancel;
+  int probes = 0;
+  cfg.on_probe_done = [&](int, int, double) {
+    ++probes;
+    cancel.Cancel();
+  };
+  AdaptiveSearchResult result =
+      SearchAdaptive(TinyPool(), TestGraph(), TestSplit(), cfg);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(probes, 1);
+}
+
+TEST(CancelTest, GradientSearchStopsAtEpochBoundary) {
+  CancelToken cancel;
+  GradientSearchConfig cfg;
+  cfg.k = 2;
+  cfg.max_epochs = 30;
+  cfg.patience = 30;
+  cfg.train = FastTrain();
+  cfg.seed = 7;
+  cfg.cancel = &cancel;
+  cfg.checkpoint_every = 2;
+  int checkpoints = 0;
+  cfg.on_checkpoint = [&](const GradientSearchState& st) {
+    ++checkpoints;
+    if (st.epoch >= 4) cancel.Cancel();
+  };
+  GradientSearchResult result =
+      SearchGradient(TinyPool(), TestGraph(), TestSplit(), cfg);
+  EXPECT_TRUE(result.interrupted);
+  // Epochs are 1-based, so checkpoints fire at epochs 2 and 4; the cancel
+  // lands after the second and the loop exits before epoch 5 ever runs.
+  EXPECT_EQ(checkpoints, 2);
+}
+
+// --- Validating pipeline entry point -------------------------------------
+
+TEST(AutoHEnsCheckedTest, RejectsMalformedInputs) {
+  AutoHEnsConfig cfg;
+  cfg.train = FastTrain();
+  // No candidates and no fixed pool.
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), TestSplit(), {}, cfg).ok());
+  // Empty train / val splits.
+  DataSplit no_train = TestSplit();
+  no_train.train.clear();
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), no_train, TinyPool(), cfg).ok());
+  DataSplit no_val = TestSplit();
+  no_val.val.clear();
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), no_val, TinyPool(), cfg).ok());
+  // Out-of-range node index.
+  DataSplit oob = TestSplit();
+  oob.val.push_back(TestGraph().num_nodes());
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), oob, TinyPool(), cfg).ok());
+  // Nonsensical knobs.
+  AutoHEnsConfig bad_pool = cfg;
+  bad_pool.pool_size = 0;
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), TestSplit(), TinyPool(), bad_pool)
+          .ok());
+  AutoHEnsConfig bad_k = cfg;
+  bad_k.k = -1;
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), TestSplit(), TinyPool(), bad_k)
+          .ok());
+  AutoHEnsConfig bad_frac = cfg;
+  bad_frac.val_fraction = 1.5;
+  EXPECT_FALSE(
+      RunAutoHEnsGnnChecked(TestGraph(), TestSplit(), TinyPool(), bad_frac)
+          .ok());
+}
+
+TEST(AutoHEnsCheckedTest, HappyPathIsBitwiseIdenticalToUnchecked) {
+  AutoHEnsConfig cfg;
+  cfg.pool_size = 1;
+  cfg.k = 1;
+  cfg.algo = SearchAlgo::kAdaptive;
+  cfg.fixed_pool = {TinyPool()[0]};
+  cfg.train = FastTrain();
+  cfg.train.max_epochs = 8;
+  cfg.adaptive.train = cfg.train;
+  cfg.bagging_splits = 1;
+  cfg.seed = 13;
+  AutoHEnsResult plain = RunAutoHEnsGnn(TestGraph(), TestSplit(), {}, cfg);
+  auto checked = RunAutoHEnsGnnChecked(TestGraph(), TestSplit(), {}, cfg);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(plain.val_accuracy, checked.value().val_accuracy);
+  ASSERT_EQ(plain.probs.size(), checked.value().probs.size());
+  EXPECT_EQ(std::memcmp(plain.probs.data(), checked.value().probs.data(),
+                        sizeof(double) * plain.probs.size()),
+            0);
 }
 
 }  // namespace
