@@ -21,6 +21,7 @@
 #include "autodiff/graph_ops.h"
 #include "common/bench_util.h"
 #include "autodiff/ops.h"
+#include "kernels/dispatch.h"
 #include "graph/synthetic.h"
 #include "models/model.h"
 #include "models/model_zoo.h"
@@ -304,17 +305,37 @@ bool WriteKernelsJson(const std::string& path) {
   Rng rng(21);
   Matrix a = Matrix::Gaussian(1024, 64, 1.0, &rng);
   Matrix b = Matrix::Gaussian(64, 64, 1.0, &rng);
-  const double matmul_ns =
-      MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
-
   const Graph& g = BenchGraph();
   Matrix x = Matrix::Gaussian(g.num_nodes(), 64, 1.0, &rng);
   const SparseMatrix& adj = g.Adjacency(AdjacencyKind::kSymNorm);
+
+  // Scalar-tier reference timings for the kernel-level speedup rows.
+  double matmul_scalar_ns = 0.0, spmm_scalar_ns = 0.0;
+  {
+    ahg::kernels::ScopedTier scalar(ahg::kernels::Tier::kScalar);
+    matmul_scalar_ns =
+        MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+    spmm_scalar_ns =
+        MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(adj.Spmm(x)); });
+  }
+  // Active (best supported / env-forced) tier with autotuning live.
+  const char* tier_name = ahg::kernels::TierName(ahg::kernels::ActiveTier());
+  const double matmul_ns =
+      MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
   const double spmm_ns =
       MeasureNsPerOp(5, [&] { benchmark::DoNotOptimize(adj.Spmm(x)); });
 
-  const StepSuiteResult baseline = MeasureGcnStep(false, false);
-  const StepSuiteResult pooled = MeasureGcnStep(true, true);
+  // The memory-plane comparison (baseline vs pooled) is pinned to the
+  // scalar tier so its speedup stays comparable to the committed baseline
+  // from before the SIMD backend existed; `tuned` then runs the pooled
+  // plane on the active tier with the autotuner warm — the full fast path.
+  StepSuiteResult baseline, pooled;
+  {
+    ahg::kernels::ScopedTier scalar(ahg::kernels::Tier::kScalar);
+    baseline = MeasureGcnStep(false, false);
+    pooled = MeasureGcnStep(true, true);
+  }
+  const StepSuiteResult tuned = MeasureGcnStep(true, true);
   const double speedup =
       pooled.ns_op > 0.0 ? baseline.ns_op / pooled.ns_op : 0.0;
   const double alloc_reduction =
@@ -322,6 +343,10 @@ bool WriteKernelsJson(const std::string& path) {
           ? 1.0 - static_cast<double>(pooled.allocs_per_step) /
                       static_cast<double>(baseline.allocs_per_step)
           : 0.0;
+  const double tuned_vs_baseline =
+      tuned.ns_op > 0.0 ? baseline.ns_op / tuned.ns_op : 0.0;
+  const double tuned_vs_pooled =
+      tuned.ns_op > 0.0 ? pooled.ns_op / tuned.ns_op : 0.0;
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -332,26 +357,44 @@ bool WriteKernelsJson(const std::string& path) {
                "{\n"
                "  \"matmul_1024x64x64_ns_op\": %.0f,\n"
                "  \"spmm_3000n_64c_ns_op\": %.0f,\n"
+               "  \"kernel_tier\": \"%s\",\n"
+               "  \"simd\": {\n"
+               "    \"matmul_scalar_ns_op\": %.0f,\n"
+               "    \"matmul_speedup\": %.3f,\n"
+               "    \"spmm_scalar_ns_op\": %.0f,\n"
+               "    \"spmm_speedup\": %.3f\n"
+               "  },\n"
                "  \"gcn_train_step\": {\n"
                "    \"baseline\": {\"ns_op\": %.0f, \"allocs_per_step\": "
                "%lld, \"bytes_per_step\": %lld},\n"
                "    \"pooled\": {\"ns_op\": %.0f, \"allocs_per_step\": %lld, "
                "\"bytes_per_step\": %lld, \"pool_hit_rate\": %.4f},\n"
+               "    \"tuned\": {\"ns_op\": %.0f, \"allocs_per_step\": %lld, "
+               "\"pool_hit_rate\": %.4f, \"tier\": \"%s\",\n"
+               "      \"speedup_vs_baseline\": %.3f, "
+               "\"speedup_vs_pooled\": %.3f},\n"
                "    \"speedup\": %.3f,\n"
                "    \"alloc_reduction\": %.4f\n"
                "  }\n"
                "}\n",
-               matmul_ns, spmm_ns, baseline.ns_op,
+               matmul_ns, spmm_ns, tier_name, matmul_scalar_ns,
+               matmul_ns > 0.0 ? matmul_scalar_ns / matmul_ns : 0.0,
+               spmm_scalar_ns, spmm_ns > 0.0 ? spmm_scalar_ns / spmm_ns : 0.0,
+               baseline.ns_op,
                static_cast<long long>(baseline.allocs_per_step),
                static_cast<long long>(baseline.bytes_per_step), pooled.ns_op,
                static_cast<long long>(pooled.allocs_per_step),
                static_cast<long long>(pooled.bytes_per_step),
-               pooled.pool_hit_rate, speedup, alloc_reduction);
+               pooled.pool_hit_rate, tuned.ns_op,
+               static_cast<long long>(tuned.allocs_per_step),
+               tuned.pool_hit_rate, tier_name, tuned_vs_baseline,
+               tuned_vs_pooled, speedup, alloc_reduction);
   std::fclose(f);
   std::printf("wrote %s (baseline %lld allocs/step -> pooled %lld, "
-              "speedup %.2fx)\n",
+              "pool speedup %.2fx, tuned[%s] %.2fx vs pooled)\n",
               path.c_str(), static_cast<long long>(baseline.allocs_per_step),
-              static_cast<long long>(pooled.allocs_per_step), speedup);
+              static_cast<long long>(pooled.allocs_per_step), speedup,
+              tier_name, tuned_vs_pooled);
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernel_ops.h"
 #include "tensor/pool.h"
 #include "util/rng.h"
 
@@ -106,14 +107,12 @@ Var LinearRelu(const Var& x, const Var& w, const Var& b) {
   Matrix out = ahg::MatMul(x->value, w->value);
   // Single in-place pass over the product: the additions and the max are
   // the exact per-element arithmetic AddRowVector and Relu would perform on
-  // their own output buffers.
+  // their own output buffers. The dispatched kernel's max(v, +0.0) matches
+  // `v > 0 ? v : 0.0` bit-for-bit (including -0.0 and NaN inputs).
+  const kernels::TierOps& ops = kernels::ActiveOps();
   const double* bias = b ? b->value.Row(0) : nullptr;
   for (int r = 0; r < out.rows(); ++r) {
-    double* row = out.Row(r);
-    for (int c = 0; c < out.cols(); ++c) {
-      const double v = bias ? row[c] + bias[c] : row[c];
-      row[c] = v > 0.0 ? v : 0.0;
-    }
+    ops.bias_relu_row(out.Row(r), bias, out.cols());
   }
   std::vector<Var> parents =
       b ? std::vector<Var>{x, w, b} : std::vector<Var>{x, w};

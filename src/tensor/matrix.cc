@@ -1,16 +1,91 @@
 #include "tensor/matrix.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "kernels/autotune.h"
+#include "kernels/kernel_ops.h"
 #include "obs/trace.h"
+#include "tensor/aligned.h"
 #include "tensor/alloc_tracker.h"
 #include "tensor/pool.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ahg {
+namespace {
+
+// Workloads below this many multiply-adds use the tier-default kernel
+// variant without consulting (or populating) the autotuner — tuning
+// overhead would swamp any win on small shapes.
+constexpr int64_t kTuneMinWork = 1 << 20;
+
+// Candidate k-panel sizes (rows of B kept hot per slab) for GEMM tuning.
+constexpr int kGemmKPanels[] = {64, 128, 256};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs one GEMM candidate over the first `bench_rows` rows and returns
+// elapsed ns. Accumulates into c's real rows; the caller re-zeros them
+// before the production pass, so the benchmark leaves no trace.
+double BenchGemmCandidate(const kernels::TierOps& ops,
+                          const kernels::GemmChoice& cand, const Matrix& a,
+                          const Matrix& b, int bench_rows, Matrix* c) {
+  const int64_t t0 = NowNs();
+  for (int k0 = 0; k0 < a.cols(); k0 += cand.kpanel) {
+    const int k1 = std::min(a.cols(), k0 + cand.kpanel);
+    for (int i = 0; i < bench_rows; ++i) {
+      ops.gemm_panel(cand.jblock, a.Row(i) + k0, k1 - k0, b.Row(k0), b.cols(),
+                     b.cols(), c->Row(i));
+    }
+  }
+  return static_cast<double>(NowNs() - t0);
+}
+
+// Resolves the GEMM variant for this shape: forced (tests) > cached >
+// benchmarked-on-first-use > tier default. Any rows the benchmark dirtied
+// are re-zeroed before returning.
+kernels::GemmChoice ResolveGemmChoice(const kernels::TierOps& ops,
+                                      const Matrix& a, const Matrix& b,
+                                      Matrix* c) {
+  if (const kernels::GemmChoice* forced = kernels::ForcedGemm()) {
+    return *forced;
+  }
+  const int64_t work = int64_t{a.rows()} * a.cols() * b.cols();
+  if (work < kTuneMinWork || !kernels::AutotuneEnabled()) {
+    return kernels::GemmChoice{};
+  }
+  const std::string key =
+      kernels::GemmShapeKey(ops.tier, a.cols(), b.cols(), a.rows());
+  kernels::KernelTuner& tuner = kernels::KernelTuner::Global();
+  kernels::GemmChoice cached;
+  if (tuner.LookupGemm(key, &cached)) return cached;
+  std::vector<kernels::GemmChoice> candidates;
+  for (int bi = 0; bi < ops.num_gemm_jblocks; ++bi) {
+    for (const int kp : kGemmKPanels) {
+      candidates.push_back(kernels::GemmChoice{ops.gemm_jblocks[bi], kp});
+    }
+  }
+  const int bench_rows = std::min(a.rows(), 8);
+  const kernels::GemmChoice choice = tuner.GetGemm(
+      key, candidates, [&](const kernels::GemmChoice& cand) {
+        return BenchGemmCandidate(ops, cand, a, b, bench_rows, c);
+      });
+  if (bench_rows > 0) {
+    std::fill(c->Row(0), c->Row(0) + int64_t{bench_rows} * c->cols(), 0.0);
+  }
+  return choice;
+}
+
+}  // namespace
 
 void Matrix::Allocate(int rows, int cols, bool zero) {
   AHG_CHECK_GE(rows, 0);
@@ -25,7 +100,7 @@ void Matrix::Allocate(int rows, int cols, bool zero) {
       data_ = MatrixPool::Global().Acquire(n, zero);
       pooled_ = true;
     } else {
-      data_ = zero ? new double[n]() : new double[n];
+      data_ = AlignedAllocDoubles(n, zero);
       pooled_ = false;
       AllocTracker::Add(static_cast<size_t>(n) * sizeof(double));
     }
@@ -38,7 +113,7 @@ void Matrix::Release() {
       MatrixPool::Global().Release(data_, size());
     } else {
       AllocTracker::Remove(static_cast<size_t>(size()) * sizeof(double));
-      delete[] data_;
+      AlignedFreeDoubles(data_);
     }
     data_ = nullptr;
   }
@@ -123,16 +198,16 @@ void Matrix::Fill(double value) {
 
 void Matrix::AddInPlace(const Matrix& other) {
   AHG_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  kernels::ActiveOps().add_inplace(data_, other.data_, size());
 }
 
 void Matrix::AxpyInPlace(double alpha, const Matrix& other) {
   AHG_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::ActiveOps().axpy_inplace(data_, alpha, other.data_, size());
 }
 
 void Matrix::ScaleInPlace(double alpha) {
-  for (int64_t i = 0; i < size(); ++i) data_[i] *= alpha;
+  kernels::ActiveOps().scale_inplace(data_, alpha, size());
 }
 
 int Matrix::ArgMaxRow(int r) const {
@@ -167,21 +242,21 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   // row of the chunk streams through it. Each output row is owned by one
   // worker, and each c[i][j] still accumulates k in globally ascending
   // order (panels ascend, k ascends within a panel), so the result is
-  // bitwise identical to the unblocked i-k-j kernel at every thread count.
-  constexpr int kPanelK = 128;  // ~128 x 64 doubles of B per slab
+  // bitwise identical to the unblocked i-k-j kernel at every thread count
+  // and every dispatch tier (see kernels/kernel_ops.h). The tier table and
+  // tuned variant are resolved on the calling thread before the parallel
+  // region so every worker uses the same kernel.
+  const kernels::TierOps& ops = kernels::ActiveOps();
+  const kernels::GemmChoice choice = ResolveGemmChoice(ops, a, b, &c);
+  const int kpanel = choice.kpanel > 0 ? choice.kpanel : 128;
   const int64_t work_per_row = int64_t{a.cols()} * b.cols();
   ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
-    for (int k0 = 0; k0 < a.cols(); k0 += kPanelK) {
-      const int k1 = std::min(a.cols(), k0 + kPanelK);
+    for (int k0 = 0; k0 < a.cols(); k0 += kpanel) {
+      const int k1 = std::min(a.cols(), k0 + kpanel);
       for (int64_t i = begin; i < end; ++i) {
-        const double* arow = a.Row(static_cast<int>(i));
-        double* crow = c.Row(static_cast<int>(i));
-        for (int k = k0; k < k1; ++k) {
-          const double aik = arow[k];
-          if (aik == 0.0) continue;
-          const double* brow = b.Row(k);
-          for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-        }
+        ops.gemm_panel(choice.jblock, a.Row(static_cast<int>(i)) + k0, k1 - k0,
+                       b.Row(k0), b.cols(), b.cols(),
+                       c.Row(static_cast<int>(i)));
       }
     }
   });
@@ -211,6 +286,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   for (int64_t p = 0; p < num_chunks; ++p) {
     partial.emplace_back(a.cols(), b.cols());
   }
+  const kernels::TierOps& ops = kernels::ActiveOps();
   ParallelForChunked(num_chunks, work_per_chunk,
                      [&](int64_t begin, int64_t end) {
     for (int64_t p = begin; p < end; ++p) {
@@ -222,8 +298,8 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
         for (int i = 0; i < a.cols(); ++i) {
           const double aki = arow[i];
           if (aki == 0.0) continue;
-          double* crow = local.Row(i);
-          for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+          // Rank-1 row update crow[j] += aki * brow[j] — an axpy.
+          ops.axpy_inplace(local.Row(i), aki, brow, b.cols());
         }
       }
     }
@@ -238,8 +314,10 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
                      int64_t{a.rows()} * a.cols() * b.rows());
   Matrix c(a.rows(), b.rows());
   // Register-blocked over j: four dot products share each arow[k] load.
-  // Every dot still accumulates its own k in ascending order, so values are
-  // bitwise identical to the one-j-at-a-time kernel.
+  // Every dot still accumulates its own k in ascending order (the SIMD dot4
+  // transposes 4x4 blocks of B so each lane adds one k term at a time), so
+  // values are bitwise identical to the one-j-at-a-time kernel.
+  const kernels::TierOps& ops = kernels::ActiveOps();
   const int64_t work_per_row = int64_t{a.cols()} * b.rows();
   ParallelForChunked(a.rows(), work_per_row, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
@@ -247,22 +325,8 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
       double* crow = c.Row(static_cast<int>(i));
       int j = 0;
       for (; j + 4 <= b.rows(); j += 4) {
-        const double* b0 = b.Row(j);
-        const double* b1 = b.Row(j + 1);
-        const double* b2 = b.Row(j + 2);
-        const double* b3 = b.Row(j + 3);
-        double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
-        for (int k = 0; k < a.cols(); ++k) {
-          const double av = arow[k];
-          d0 += av * b0[k];
-          d1 += av * b1[k];
-          d2 += av * b2[k];
-          d3 += av * b3[k];
-        }
-        crow[j] = d0;
-        crow[j + 1] = d1;
-        crow[j + 2] = d2;
-        crow[j + 3] = d3;
+        ops.dot4(arow, b.Row(j), b.Row(j + 1), b.Row(j + 2), b.Row(j + 3),
+                 a.cols(), crow + j);
       }
       for (; j < b.rows(); ++j) {
         const double* brow = b.Row(j);
@@ -298,7 +362,7 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 Matrix CWiseMul(const Matrix& a, const Matrix& b) {
   AHG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix c(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  kernels::ActiveOps().cwise_mul(a.data(), b.data(), a.size(), c.data());
   return c;
 }
 
@@ -311,20 +375,26 @@ Matrix Scale(const Matrix& a, double alpha) {
 Matrix RowSoftmax(const Matrix& a) {
   AHG_TRACE_SPAN_ARG("tensor/row_softmax", int64_t{a.rows()} * a.cols());
   Matrix out(a.rows(), a.cols());
+  // Zero-column input: nothing to normalize (and row_max on an empty row
+  // would read past the end of a null buffer).
+  if (a.cols() == 0) return out;
   // Row-owned, so parallel execution is bitwise identical to sequential.
+  // The max is order-independent for NaN-free input and division is exact
+  // per lane, so those vectorize; the exp + running sum keeps the scalar
+  // accumulation order.
+  const kernels::TierOps& ops = kernels::ActiveOps();
   ParallelForChunked(a.rows(), 4 * a.cols(), [&](int64_t begin, int64_t end) {
     for (int64_t ri = begin; ri < end; ++ri) {
       const int r = static_cast<int>(ri);
       const double* in = a.Row(r);
       double* dst = out.Row(r);
-      double max_val = in[0];
-      for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
+      const double max_val = ops.row_max(in, a.cols());
       double total = 0.0;
       for (int c = 0; c < a.cols(); ++c) {
         dst[c] = std::exp(in[c] - max_val);
         total += dst[c];
       }
-      for (int c = 0; c < a.cols(); ++c) dst[c] /= total;
+      ops.div_inplace(dst, a.cols(), total);
     }
   });
   return out;
@@ -332,17 +402,18 @@ Matrix RowSoftmax(const Matrix& a) {
 
 Matrix RowLogSoftmax(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
+  if (a.cols() == 0) return out;
+  const kernels::TierOps& ops = kernels::ActiveOps();
   ParallelForChunked(a.rows(), 4 * a.cols(), [&](int64_t begin, int64_t end) {
     for (int64_t ri = begin; ri < end; ++ri) {
       const int r = static_cast<int>(ri);
       const double* in = a.Row(r);
       double* dst = out.Row(r);
-      double max_val = in[0];
-      for (int c = 1; c < a.cols(); ++c) max_val = std::max(max_val, in[c]);
+      const double max_val = ops.row_max(in, a.cols());
       double total = 0.0;
       for (int c = 0; c < a.cols(); ++c) total += std::exp(in[c] - max_val);
       const double log_total = std::log(total) + max_val;
-      for (int c = 0; c < a.cols(); ++c) dst[c] = in[c] - log_total;
+      ops.sub_scalar(in, a.cols(), log_total, dst);
     }
   });
   return out;

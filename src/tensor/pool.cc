@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "tensor/aligned.h"
 #include "tensor/alloc_tracker.h"
 
 namespace ahg {
@@ -92,7 +93,7 @@ double* MatrixPool::Acquire(int64_t n, bool zero) {
     return buffer;
   }
   Metrics().misses->Increment();
-  buffer = zero ? new double[n]() : new double[n];
+  buffer = AlignedAllocDoubles(n, zero);
   AllocTracker::Add(static_cast<size_t>(n) * sizeof(double));
   return buffer;
 }
@@ -145,7 +146,7 @@ void MatrixPool::TrimTo(int64_t target_idle_bytes) {
   int64_t freed = 0;
   for (const auto& [ptr, n] : to_free) {
     AllocTracker::Remove(static_cast<size_t>(n) * sizeof(double));
-    delete[] ptr;
+    AlignedFreeDoubles(ptr);
     freed += n * static_cast<int64_t>(sizeof(double));
   }
   if (freed > 0) {

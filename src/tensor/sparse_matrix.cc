@@ -1,50 +1,126 @@
 #include "tensor/sparse_matrix.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "kernels/autotune.h"
+#include "kernels/kernel_ops.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ahg {
 namespace {
 
-// One CSR row times a dense block, register-blocked over the dense width:
-// four column accumulators live in registers across the row's entries, so
-// the output row is written once per block instead of read-modified per
-// entry. Each y[c] accumulates entries in ascending storage order — the
-// same per-element order as the naive entry-outer loop — so results are
-// bitwise identical to it. Shared by Spmm and SpmmRows.
-inline void SpmmRowKernel(const int64_t* row_ptr, int64_t r,
+// Workloads (nnz * dense width) below this skip the autotuner and use the
+// tier-default variant.
+constexpr int64_t kSpmmTuneMinWork = 1 << 20;
+
+// One CSR row times a dense block via the dispatched per-tier kernel:
+// register-blocked over the dense width, each y[c] accumulating entries in
+// ascending storage order — the same per-element order as the naive
+// entry-outer loop — so results are bitwise identical to it across tiers
+// and block widths. Shared by Spmm and SpmmRows. Rows with no entries
+// write a zero row (the accumulators start at 0 and are always stored).
+inline void SpmmRowKernel(const kernels::TierOps& ops, int cblock,
+                          const int64_t* row_ptr, int64_t r,
                           const int* col_idx, const double* values,
                           const Matrix& x, double* yrow) {
   const int64_t e_begin = row_ptr[r];
-  const int64_t e_end = row_ptr[r + 1];
-  const int ncols = x.cols();
-  int c = 0;
-  for (; c + 4 <= ncols; c += 4) {
-    double y0 = 0.0, y1 = 0.0, y2 = 0.0, y3 = 0.0;
-    for (int64_t e = e_begin; e < e_end; ++e) {
-      const double v = values[e];
-      const double* xrow = x.Row(col_idx[e]) + c;
-      y0 += v * xrow[0];
-      y1 += v * xrow[1];
-      y2 += v * xrow[2];
-      y3 += v * xrow[3];
+  ops.spmm_row(cblock, values + e_begin, col_idx + e_begin,
+               row_ptr[r + 1] - e_begin, x.data(), x.cols(), x.cols(), yrow);
+}
+
+int64_t SpmmNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Row-split schedule: contiguous row ranges of ~equal row count (the
+// ParallelForChunked default partition).
+void SpmmRowSplitPass(const kernels::TierOps& ops, int cblock,
+                      const SparseMatrix& m, const Matrix& x, Matrix* y) {
+  const int64_t work_per_row =
+      m.rows() > 0 ? std::max<int64_t>(1, m.nnz() / m.rows()) * x.cols() : 1;
+  ParallelForChunked(m.rows(), work_per_row, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      SpmmRowKernel(ops, cblock, m.row_ptr().data(), r, m.col_idx().data(),
+                    m.values().data(), x, y->Row(static_cast<int>(r)));
     }
-    yrow[c] = y0;
-    yrow[c + 1] = y1;
-    yrow[c + 2] = y2;
-    yrow[c + 3] = y3;
+  });
+}
+
+// nnz-split schedule: contiguous row ranges of ~equal *entry* count, found
+// by searching the CSR row_ptr prefix sums. Better load balance on
+// degree-skewed graphs. Each row is still computed whole by one worker in
+// the same entry order, so the result is bitwise identical to row-split.
+void SpmmNnzSplitPass(const kernels::TierOps& ops, int cblock,
+                      const SparseMatrix& m, const Matrix& x, Matrix* y) {
+  const int64_t rows = m.rows();
+  const int64_t nnz = m.nnz();
+  const std::vector<int64_t>& row_ptr = m.row_ptr();
+  const int64_t target_chunks =
+      std::min<int64_t>(rows, std::max(1, GetNumThreads() * 4));
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(target_chunks) + 1);
+  bounds.push_back(0);
+  for (int64_t t = 1; t < target_chunks; ++t) {
+    const int64_t target = nnz * t / target_chunks;
+    const int64_t row =
+        std::upper_bound(row_ptr.begin(), row_ptr.end(), target) -
+        row_ptr.begin() - 1;
+    if (row > bounds.back() && row < rows) bounds.push_back(row);
   }
-  for (; c < ncols; ++c) {
-    double acc = 0.0;
-    for (int64_t e = e_begin; e < e_end; ++e) {
-      acc += values[e] * x.Row(col_idx[e])[c];
+  bounds.push_back(rows);
+  const int64_t num_chunks = static_cast<int64_t>(bounds.size()) - 1;
+  const int64_t work_per_chunk =
+      std::max<int64_t>(1, nnz / num_chunks) * x.cols();
+  ParallelForChunked(num_chunks, work_per_chunk,
+                     [&](int64_t begin, int64_t end) {
+    for (int64_t ci = begin; ci < end; ++ci) {
+      for (int64_t r = bounds[ci]; r < bounds[ci + 1]; ++r) {
+        SpmmRowKernel(ops, cblock, row_ptr.data(), r, m.col_idx().data(),
+                      m.values().data(), x, y->Row(static_cast<int>(r)));
+      }
     }
-    yrow[c] = acc;
+  });
+}
+
+// SpMM variant for this (matrix, dense width) shape: forced (tests) >
+// cached > benchmarked-on-first-use > tier default. Benchmark passes fully
+// overwrite y, so they leave no residue for the production pass.
+kernels::SpmmChoice ResolveSpmmChoice(const kernels::TierOps& ops,
+                                      const SparseMatrix& m, const Matrix& x,
+                                      Matrix* y) {
+  if (const kernels::SpmmChoice* forced = kernels::ForcedSpmm()) {
+    return *forced;
   }
+  const int64_t work = m.nnz() * x.cols();
+  if (work < kSpmmTuneMinWork || !kernels::AutotuneEnabled()) {
+    return kernels::SpmmChoice{};
+  }
+  const std::string key =
+      kernels::SpmmShapeKey(ops.tier, m.rows(), m.nnz(), x.cols());
+  kernels::KernelTuner& tuner = kernels::KernelTuner::Global();
+  kernels::SpmmChoice cached;
+  if (tuner.LookupSpmm(key, &cached)) return cached;
+  std::vector<kernels::SpmmChoice> candidates;
+  for (int bi = 0; bi < ops.num_spmm_cblocks; ++bi) {
+    candidates.push_back(kernels::SpmmChoice{ops.spmm_cblocks[bi], false});
+    candidates.push_back(kernels::SpmmChoice{ops.spmm_cblocks[bi], true});
+  }
+  return tuner.GetSpmm(key, candidates, [&](const kernels::SpmmChoice& cand) {
+    const int64_t t0 = SpmmNowNs();
+    if (cand.nnz_split) {
+      SpmmNnzSplitPass(ops, cand.cblock, m, x, y);
+    } else {
+      SpmmRowSplitPass(ops, cand.cblock, m, x, y);
+    }
+    return static_cast<double>(SpmmNowNs() - t0);
+  });
 }
 
 }  // namespace
@@ -114,16 +190,15 @@ Matrix SparseMatrix::Spmm(const Matrix& x) const {
   AHG_CHECK_EQ(x.rows(), cols_);
   AHG_TRACE_SPAN_ARG("tensor/spmm", nnz() * x.cols());
   Matrix y(rows_, x.cols());
-  // Per-row cost estimate for the min-grain threshold: average nnz times
-  // the dense width.
-  const int64_t work_per_row =
-      rows_ > 0 ? std::max<int64_t>(1, nnz() / rows_) * x.cols() : 1;
-  ParallelForChunked(rows_, work_per_row, [&](int64_t begin, int64_t end) {
-    for (int64_t r = begin; r < end; ++r) {
-      SpmmRowKernel(row_ptr_.data(), r, col_idx_.data(), values_.data(), x,
-                    y.Row(static_cast<int>(r)));
-    }
-  });
+  // Tier table and variant resolved on the calling thread before any
+  // parallel region; both schedules are exact (see SpmmNnzSplitPass).
+  const kernels::TierOps& ops = kernels::ActiveOps();
+  const kernels::SpmmChoice choice = ResolveSpmmChoice(ops, *this, x, &y);
+  if (choice.nnz_split) {
+    SpmmNnzSplitPass(ops, choice.cblock, *this, x, &y);
+  } else {
+    SpmmRowSplitPass(ops, choice.cblock, *this, x, &y);
+  }
   return y;
 }
 
@@ -133,6 +208,17 @@ Matrix SparseMatrix::SpmmRows(const std::vector<int>& rows,
   AHG_TRACE_SPAN_ARG("tensor/spmm_rows",
                      static_cast<int64_t>(rows.size()) * x.cols());
   Matrix y(static_cast<int>(rows.size()), x.cols());
+  // Row subsets change every incremental refresh, so they never tune a key
+  // of their own; reuse the full-matrix entry's column block when present
+  // (the per-row kernel is the same) and fall back to the tier default.
+  const kernels::TierOps& ops = kernels::ActiveOps();
+  kernels::SpmmChoice choice;
+  if (const kernels::SpmmChoice* forced = kernels::ForcedSpmm()) {
+    choice = *forced;
+  } else {
+    kernels::KernelTuner::Global().LookupSpmm(
+        kernels::SpmmShapeKey(ops.tier, rows_, nnz(), x.cols()), &choice);
+  }
   const int64_t work_per_row =
       rows_ > 0 ? std::max<int64_t>(1, nnz() / rows_) * x.cols() : 1;
   ParallelForChunked(static_cast<int64_t>(rows.size()), work_per_row,
@@ -140,8 +226,8 @@ Matrix SparseMatrix::SpmmRows(const std::vector<int>& rows,
     for (int64_t i = begin; i < end; ++i) {
       const int r = rows[i];
       AHG_CHECK(r >= 0 && r < rows_);
-      SpmmRowKernel(row_ptr_.data(), r, col_idx_.data(), values_.data(), x,
-                    y.Row(static_cast<int>(i)));
+      SpmmRowKernel(ops, choice.cblock, row_ptr_.data(), r, col_idx_.data(),
+                    values_.data(), x, y.Row(static_cast<int>(i)));
     }
   });
   return y;
