@@ -1,0 +1,330 @@
+// Partition memory-scaling bench: proves the ISSUE-9 headline — the peak
+// resident footprint of partitioned serving scales like ~1/K plus the halo
+// appendix, against the replicated-shard baseline that copies the whole
+// graph per shard.
+//
+// Phases, per part count (default {1, 2, 4}):
+//   conformance  every measured engine must answer bitwise identical to a
+//                lone InferenceEngine on a node sample — always asserted;
+//                any mismatch exits non-zero so CI gates on it
+//   replicated   AllocTracker peak delta of one full Graph copy + engine +
+//                Warm: what ONE shard of the replicated fabric keeps
+//                resident (the fabric multiplies this by num_shards)
+//   partitioned  AllocTracker peak delta of PartitionedEngine::Create +
+//                Warm at K parts, divided by K = per-part resident peak;
+//                PartResidentBytes() reports the steady-state per-part
+//                bytes (features + local CSR + per-version states)
+//
+// The gate: at the largest part count the per-part partitioned peak must
+// be <= max_part_fraction (default 0.45) of the replicated per-shard peak.
+// The halo appendix is why the bound is 0.45 and not 0.25 at K=4.
+//
+// Usage: partition_scale [--fast] [--parts N] [--json-out FILE]
+//                        [--max-part-fraction F]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "graph/synthetic.h"
+#include "nn/linear.h"
+#include "partition/partitioned_engine.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "tensor/alloc_tracker.h"
+#include "util/string_util.h"
+
+namespace ahg::partition {
+namespace {
+
+struct PartReport {
+  int part = 0;
+  int owned = 0;
+  int halo = 0;
+  int64_t resident_bytes = 0;
+};
+
+struct RunReport {
+  int parts = 0;
+  double edge_cut_fraction = 0.0;
+  double balance_factor = 1.0;
+  int halo_nodes = 0;
+  int64_t build_peak_bytes = 0;      // AllocTracker peak delta, whole build
+  int64_t per_part_peak_bytes = 0;   // build_peak_bytes / parts
+  double fraction_of_replicated = 0.0;
+  std::vector<PartReport> per_part;
+};
+
+bool CheckConformance(PartitionedEngine* engine, const Matrix& reference,
+                      const serve::ServableModel& model, int num_nodes,
+                      int sample, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<size_t>(sample));
+  for (int i = 0; i < sample; ++i) {
+    nodes.push_back(static_cast<int>(rng.UniformInt(num_nodes)));
+  }
+  auto got = engine->PredictNodes(model, nodes);
+  if (!got.ok()) {
+    std::fprintf(stderr, "conformance forward failed: %s\n",
+                 got.status().ToString().c_str());
+    return false;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (std::memcmp(got.value().Row(static_cast<int>(i)),
+                    reference.Row(nodes[i]),
+                    static_cast<size_t>(reference.cols()) * sizeof(double)) !=
+        0) {
+      std::fprintf(stderr,
+                   "conformance MISMATCH: parts=%d node=%d is not bitwise "
+                   "identical to the single-engine reference\n",
+                   engine->num_parts(), nodes[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JsonReport(const SyntheticConfig& cfg, bool fast, uint64_t seed,
+                       const std::vector<int>& part_counts,
+                       int conformance_sample, bool conformance_pass,
+                       int64_t replicated_peak_bytes,
+                       const std::vector<RunReport>& runs,
+                       double max_part_fraction, bool fraction_pass) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"partition_scale\",\n";
+  json += "  \"schema_version\": 1,\n";
+  json += StrFormat(
+      "  \"config\": {\"num_nodes\": %d, \"feature_dim\": %d, "
+      "\"num_classes\": %d, \"avg_degree\": %.1f, \"fast\": %s, "
+      "\"seed\": %llu, \"part_counts\": [",
+      cfg.num_nodes, cfg.feature_dim, cfg.num_classes, cfg.avg_degree,
+      fast ? "true" : "false", static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < part_counts.size(); ++i) {
+    json += (i ? ", " : "") + std::to_string(part_counts[i]);
+  }
+  json += "]},\n";
+  json += StrFormat(
+      "  \"conformance\": {\"checked_nodes\": %d, \"bitwise_identical\": "
+      "%s},\n",
+      conformance_sample, conformance_pass ? "true" : "false");
+  json += StrFormat("  \"replicated_peak_bytes\": %lld,\n",
+                    static_cast<long long>(replicated_peak_bytes));
+  json += "  \"runs\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const RunReport& run = runs[r];
+    json += StrFormat(
+        "    {\"parts\": %d, \"edge_cut_fraction\": %.4f, "
+        "\"balance_factor\": %.4f, \"halo_nodes\": %d, "
+        "\"build_peak_bytes\": %lld, \"per_part_peak_bytes\": %lld, "
+        "\"fraction_of_replicated\": %.4f, \"per_part\": [",
+        run.parts, run.edge_cut_fraction, run.balance_factor, run.halo_nodes,
+        static_cast<long long>(run.build_peak_bytes),
+        static_cast<long long>(run.per_part_peak_bytes),
+        run.fraction_of_replicated);
+    for (size_t p = 0; p < run.per_part.size(); ++p) {
+      const PartReport& part = run.per_part[p];
+      json += StrFormat(
+          "%s{\"part\": %d, \"owned\": %d, \"halo\": %d, "
+          "\"resident_bytes\": %lld}",
+          p ? ", " : "", part.part, part.owned, part.halo,
+          static_cast<long long>(part.resident_bytes));
+    }
+    json += "]}";
+    json += (r + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"assertions\": {\"conformance_pass\": %s, \"max_part_fraction\": "
+      "%.2f, \"fraction_measured\": %.4f, \"fraction_pass\": %s}\n",
+      conformance_pass ? "true" : "false", max_part_fraction,
+      runs.empty() ? 0.0 : runs.back().fraction_of_replicated,
+      fraction_pass ? "true" : "false");
+  json += "}\n";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  const bool fast = ahg::bench::FastMode(argc, argv);
+  int parts_flag = 0;
+  std::string json_out;
+  double max_part_fraction = 0.45;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parts") == 0 && i + 1 < argc) {
+      parts_flag = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-part-fraction") == 0 &&
+               i + 1 < argc) {
+      max_part_fraction = std::atof(argv[++i]);
+    }
+  }
+  std::vector<int> part_counts = {1, 2, 4};
+  if (parts_flag > 0) {
+    part_counts = {1};
+    if (parts_flag != 1) part_counts.push_back(parts_flag);
+  }
+
+  // Same graph family as bench/fabric_load so the two artifacts compare
+  // the same serving problem: replicate-per-shard vs partition-per-part.
+  SyntheticConfig cfg;
+  cfg.name = "partition-bench";
+  cfg.num_nodes = fast ? 2000 : 50000;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 32;
+  cfg.avg_degree = 6.0;
+  cfg.seed = 7;
+  Graph graph = GenerateSbmGraph(cfg);
+
+  ModelConfig model_cfg;
+  model_cfg.family = ModelFamily::kGcn;
+  model_cfg.in_dim = graph.feature_dim();
+  model_cfg.hidden_dim = 32;
+  model_cfg.num_layers = 2;
+  model_cfg.seed = 11;
+  std::unique_ptr<GnnModel> zoo = BuildModel(model_cfg);
+  Rng head_rng(model_cfg.seed ^ 0x5ca1ab1eULL);
+  Linear head(zoo->params(), model_cfg.hidden_dim, graph.num_classes(),
+              /*bias=*/true, &head_rng);
+  serve::ServableModel model;
+  model.version = 1;
+  model.num_classes = graph.num_classes();
+  model.config = model_cfg;
+  model.params = zoo->params()->Snapshot();
+
+  serve::InferenceEngine reference(&graph, serve::EngineOptions{});
+  auto reference_probs = reference.PredictAll(model);
+  if (!reference_probs.ok()) {
+    std::fprintf(stderr, "reference forward failed\n");
+    return 1;
+  }
+
+  const uint64_t seed = 29;
+  const int conformance_sample = fast ? 200 : 500;
+
+  // Replicated baseline: what one shard of the replicated fabric keeps
+  // resident — a full graph copy plus its engine's warmed state.
+  int64_t replicated_peak = 0;
+  {
+    AllocTracker::ResetPeak();
+    const int64_t before = AllocTracker::CurrentBytes();
+    Graph replica = graph;  // the per-shard copy ServeGraph makes
+    serve::InferenceEngine engine(&replica, serve::EngineOptions{});
+    auto warm = engine.PredictAll(model);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "replicated warm failed\n");
+      return 1;
+    }
+    replicated_peak = AllocTracker::PeakBytes() - before;
+  }
+
+  bool conformance_pass = true;
+  std::vector<RunReport> runs;
+  for (int parts : part_counts) {
+    AllocTracker::ResetPeak();
+    const int64_t before = AllocTracker::CurrentBytes();
+    auto engine_or = PartitionedEngine::Create(graph, parts);
+    if (!engine_or.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   engine_or.status().ToString().c_str());
+      return 1;
+    }
+    PartitionedEngine& engine = *engine_or.value();
+    if (!engine.Warm(model).ok()) {
+      std::fprintf(stderr, "partitioned warm failed\n");
+      return 1;
+    }
+    const int64_t build_peak = AllocTracker::PeakBytes() - before;
+
+    if (!CheckConformance(&engine, reference_probs.value(), model,
+                          graph.num_nodes(), conformance_sample, seed)) {
+      conformance_pass = false;
+    }
+
+    RunReport report;
+    report.parts = parts;
+    report.edge_cut_fraction = engine.plan().metrics.edge_cut_fraction;
+    report.balance_factor = engine.plan().metrics.balance_factor;
+    report.halo_nodes = engine.plan().halo_nodes_total;
+    report.build_peak_bytes = build_peak;
+    report.per_part_peak_bytes = build_peak / parts;
+    report.fraction_of_replicated =
+        replicated_peak > 0 ? static_cast<double>(report.per_part_peak_bytes) /
+                                  static_cast<double>(replicated_peak)
+                            : 0.0;
+    for (int p = 0; p < parts; ++p) {
+      PartReport part_report;
+      part_report.part = p;
+      part_report.owned = engine.plan().parts[p].num_owned();
+      part_report.halo = engine.plan().parts[p].num_halo();
+      part_report.resident_bytes = engine.PartResidentBytes(p);
+      report.per_part.push_back(part_report);
+    }
+    runs.push_back(std::move(report));
+  }
+
+  ahg::bench::TablePrinter table({"parts", "cut_frac", "balance", "halo",
+                                  "per_part_peak_mb", "vs_replicated"});
+  for (const RunReport& run : runs) {
+    table.AddRow({std::to_string(run.parts),
+                  StrFormat("%.4f", run.edge_cut_fraction),
+                  StrFormat("%.3f", run.balance_factor),
+                  std::to_string(run.halo_nodes),
+                  StrFormat("%.2f", static_cast<double>(
+                                        run.per_part_peak_bytes) /
+                                        (1024.0 * 1024.0)),
+                  StrFormat("%.3fx", run.fraction_of_replicated)});
+  }
+  table.Print();
+  std::printf("\nreplicated per-shard peak: %.2f MB\n",
+              static_cast<double>(replicated_peak) / (1024.0 * 1024.0));
+  std::printf("conformance (bitwise vs single engine, %d nodes x %zu part "
+              "counts): %s\n",
+              conformance_sample, part_counts.size(),
+              conformance_pass ? "PASS" : "FAIL");
+
+  const bool fraction_pass =
+      !runs.empty() && runs.back().parts >= 2 &&
+      runs.back().fraction_of_replicated <= max_part_fraction;
+  const std::string json = JsonReport(
+      cfg, fast, seed, part_counts, conformance_sample, conformance_pass,
+      replicated_peak, runs, max_part_fraction,
+      runs.empty() || runs.back().parts < 2 ? true : fraction_pass);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+
+  if (!conformance_pass) {
+    std::fprintf(stderr,
+                 "FAIL: partitioned serving is not bitwise conformant\n");
+    return 1;
+  }
+  if (!runs.empty() && runs.back().parts >= 2 && !fraction_pass) {
+    std::fprintf(stderr,
+                 "FAIL: per-part peak at %d parts is %.3fx the replicated "
+                 "per-shard peak (required <= %.2fx)\n",
+                 runs.back().parts, runs.back().fraction_of_replicated,
+                 max_part_fraction);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ahg::partition
+
+int main(int argc, char** argv) { return ahg::partition::Main(argc, argv); }

@@ -12,27 +12,6 @@ namespace ahg::dyn {
 
 namespace {
 
-// Row-local dense transform of one layer: H = agg * W (+ bias) (ReLU?),
-// with exactly the arithmetic of the eval-mode autodiff chain
-// Relu(AddRowVector(MatMul(agg, W), b)) — same kernels, same order — so a
-// row computed from a gathered subset is bitwise identical to the same row
-// of the full layer.
-Matrix DenseTransform(const Matrix& agg, const Matrix& w, const Matrix& b,
-                      bool relu) {
-  Matrix h = MatMul(agg, w);
-  AHG_CHECK_EQ(b.rows(), 1);
-  AHG_CHECK_EQ(b.cols(), h.cols());
-  for (int r = 0; r < h.rows(); ++r) {
-    double* row = h.Row(r);
-    const double* bias = b.Row(0);
-    for (int c = 0; c < h.cols(); ++c) row[c] += bias[c];
-    if (relu) {
-      for (int c = 0; c < h.cols(); ++c) row[c] = row[c] > 0.0 ? row[c] : 0.0;
-    }
-  }
-  return h;
-}
-
 // D_next = seed ∪ N(D): every bit of `seed`, plus each adjacency-row
 // neighborhood of the bits in `frontier`. The symmetric self-looped
 // adjacency makes N(D) ⊇ D.
@@ -48,6 +27,50 @@ DynamicBitset ExpandDirty(const DeltaCsr& adj, const DynamicBitset& frontier,
 }
 
 }  // namespace
+
+Matrix DenseLayerTransform(const Matrix& agg, const Matrix& w, const Matrix& b,
+                           bool relu) {
+  Matrix h = MatMul(agg, w);
+  AHG_CHECK_EQ(b.rows(), 1);
+  AHG_CHECK_EQ(b.cols(), h.cols());
+  for (int r = 0; r < h.rows(); ++r) {
+    double* row = h.Row(r);
+    const double* bias = b.Row(0);
+    for (int c = 0; c < h.cols(); ++c) row[c] += bias[c];
+    if (relu) {
+      for (int c = 0; c < h.cols(); ++c) row[c] = row[c] > 0.0 ? row[c] : 0.0;
+    }
+  }
+  return h;
+}
+
+std::vector<std::vector<int>> PerLayerDirtyRows(const ModelConfig& config,
+                                                const DeltaCsr& adj,
+                                                const BatchDelta& delta) {
+  // D_0 seeds from the feature-dirty rows; every level adds the
+  // adjacency-dirty rows and one hop of neighborhood.
+  std::vector<std::vector<int>> dirty_rows(config.num_layers);
+  DynamicBitset frontier(adj.rows());
+  for (int r : delta.dirty_feature_rows) frontier.Set(r);
+  for (int l = 0; l < config.num_layers; ++l) {
+    if (config.family == ModelFamily::kSgc && l == 0) {
+      // SGC's linear map is row-local: Z rows dirty == feature-dirty
+      // rows; the hop expansion starts at the first propagation.
+      dirty_rows[l] = delta.dirty_feature_rows;
+      continue;
+    }
+    frontier = ExpandDirty(adj, frontier, delta.dirty_adj_rows);
+    dirty_rows[l] = frontier.ToSortedVector();
+  }
+  // SGC propagates num_layers times after the map; fold the map level in
+  // by treating it as level 0 above and expanding the remaining hops.
+  if (config.family == ModelFamily::kSgc) {
+    dirty_rows.resize(config.num_layers + 1);
+    frontier = ExpandDirty(adj, frontier, delta.dirty_adj_rows);
+    dirty_rows[config.num_layers] = frontier.ToSortedVector();
+  }
+  return dirty_rows;
+}
 
 IncrementalPropagator::IncrementalPropagator(const ModelConfig& config,
                                              std::vector<Matrix> layer_params,
@@ -87,12 +110,12 @@ std::vector<Matrix> IncrementalPropagator::ComputeStates(
   if (config_.family == ModelFamily::kGcn) {
     for (int l = 0; l < config_.num_layers; ++l) {
       Matrix agg = adj.Spmm(states.back());
-      states.push_back(DenseTransform(agg, params_[2 * l], params_[2 * l + 1],
+      states.push_back(DenseLayerTransform(agg, params_[2 * l], params_[2 * l + 1],
                                       /*relu=*/true));
     }
   } else {  // kSgc: one linear map, then repeated propagation.
     states.push_back(
-        DenseTransform(states[0], params_[0], params_[1], /*relu=*/false));
+        DenseLayerTransform(states[0], params_[0], params_[1], /*relu=*/false));
     for (int l = 0; l < config_.num_layers; ++l) {
       states.push_back(adj.Spmm(states.back()));
     }
@@ -139,30 +162,8 @@ StatusOr<RefreshStats> IncrementalPropagator::Refresh(
 
   // Expand the per-layer dirty sets first — pure bitset work, no matrix
   // math — so the full-recompute fallback can trigger before any flops.
-  // D_0 seeds from the feature-dirty rows; every level adds the
-  // adjacency-dirty rows and one hop of neighborhood.
-  std::vector<std::vector<int>> dirty_rows(config_.num_layers);
-  {
-    DynamicBitset frontier(n);
-    for (int r : delta.dirty_feature_rows) frontier.Set(r);
-    for (int l = 0; l < config_.num_layers; ++l) {
-      if (config_.family == ModelFamily::kSgc && l == 0) {
-        // SGC's linear map is row-local: Z rows dirty == feature-dirty
-        // rows; the hop expansion starts at the first propagation.
-        dirty_rows[l] = delta.dirty_feature_rows;
-        continue;
-      }
-      frontier = ExpandDirty(adj, frontier, delta.dirty_adj_rows);
-      dirty_rows[l] = frontier.ToSortedVector();
-    }
-    // SGC propagates num_layers times after the map; fold the map level in
-    // by treating it as level 0 above and expanding the remaining hops.
-    if (config_.family == ModelFamily::kSgc) {
-      dirty_rows.resize(config_.num_layers + 1);
-      frontier = ExpandDirty(adj, frontier, delta.dirty_adj_rows);
-      dirty_rows[config_.num_layers] = frontier.ToSortedVector();
-    }
-  }
+  const std::vector<std::vector<int>> dirty_rows =
+      PerLayerDirtyRows(config_, adj, delta);
   const std::vector<int>& final_dirty = dirty_rows.back();
   const double fraction =
       n > 0 ? static_cast<double>(final_dirty.size()) / n : 0.0;
@@ -190,7 +191,7 @@ StatusOr<RefreshStats> IncrementalPropagator::Refresh(
       const std::vector<int>& rows = dirty_rows[l];
       if (rows.empty()) continue;
       Matrix agg = adj.SpmmRows(rows, states_[l]);
-      Matrix h = DenseTransform(agg, params_[2 * l], params_[2 * l + 1],
+      Matrix h = DenseLayerTransform(agg, params_[2 * l], params_[2 * l + 1],
                                 /*relu=*/true);
       ScatterRows(h, rows, &states_[l + 1]);
       stats.rows_refreshed += static_cast<int64_t>(rows.size());
@@ -198,7 +199,7 @@ StatusOr<RefreshStats> IncrementalPropagator::Refresh(
   } else {  // kSgc
     const std::vector<int>& z_rows = dirty_rows[0];
     if (!z_rows.empty()) {
-      Matrix z = DenseTransform(GatherRows(states_[0], z_rows), params_[0],
+      Matrix z = DenseLayerTransform(GatherRows(states_[0], z_rows), params_[0],
                                 params_[1], /*relu=*/false);
       ScatterRows(z, z_rows, &states_[1]);
       stats.rows_refreshed += static_cast<int64_t>(z_rows.size());

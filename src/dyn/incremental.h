@@ -37,6 +37,27 @@
 
 namespace ahg::dyn {
 
+// Row-local dense transform of one layer: H = agg * W (+ bias) (ReLU?),
+// with exactly the arithmetic of the eval-mode autodiff chain
+// Relu(AddRowVector(MatMul(agg, W), b)) — same kernels, same order — so a
+// row computed from a gathered subset is bitwise identical to the same row
+// of the full layer. Shared by the incremental refresh and the partitioned
+// execution plane (src/partition), whose conformance stories both rest on
+// this subset-exactness.
+Matrix DenseLayerTransform(const Matrix& agg, const Matrix& w, const Matrix& b,
+                           bool relu);
+
+// Per-layer dirty row sets for a mutation step: entry l lists the rows
+// that must be recomputed at compute stage l. GCN: num_layers entries,
+// D_l = S_A ∪ N(D_{l-1}) seeded from the feature-dirty rows. SGC:
+// num_layers + 1 entries; level 0 is the row-local linear map (dirty ==
+// feature-dirty rows) and each later level is one propagation hop. Rows
+// are sorted ascending. Pure bitset work — no matrix math — so callers can
+// decide on a full-recompute fallback before spending flops.
+std::vector<std::vector<int>> PerLayerDirtyRows(const ModelConfig& config,
+                                                const DeltaCsr& adj,
+                                                const BatchDelta& delta);
+
 struct RefreshOptions {
   // Fall back to a full recompute when |D_L| / num_nodes exceeds this.
   double full_refresh_fraction = 0.5;

@@ -57,6 +57,10 @@ Status ServingFabric::ServeGraph(const Graph* graph,
     return Status::InvalidArgument(
         "ServeGraph: fabric already hosts tenant graphs");
   }
+  if (partitioned_) {
+    return Status::InvalidArgument(
+        "ServeGraph: fabric already serves a partitioned graph");
+  }
   if (single_graph_) {
     return Status::InvalidArgument("ServeGraph: already serving a graph");
   }
@@ -77,6 +81,10 @@ Status ServingFabric::AddTenant(const std::string& tenant, const Graph* graph,
     return Status::InvalidArgument(
         "AddTenant: fabric already serves a single replicated graph");
   }
+  if (partitioned_) {
+    return Status::InvalidArgument(
+        "AddTenant: fabric already serves a partitioned graph");
+  }
   if (tenant == kDefaultTenant) {
     return Status::InvalidArgument(
         StrFormat("AddTenant: '%s' is reserved", kDefaultTenant));
@@ -88,6 +96,47 @@ Status ServingFabric::AddTenant(const std::string& tenant, const Graph* graph,
                                    &pinned_version_));
   if (!added.ok()) return added;
   multi_tenant_ = true;
+  return Status::OK();
+}
+
+Status ServingFabric::ServePartitioned(const Graph* graph,
+                                       const serve::ModelRegistry* registry) {
+  if (single_graph_ || multi_tenant_) {
+    return Status::InvalidArgument(
+        "ServePartitioned: fabric already serves replicated or tenant graphs");
+  }
+  if (partitioned_) {
+    return Status::InvalidArgument(
+        "ServePartitioned: already serving a partitioned graph");
+  }
+  partition::PartitionedEngine::Options engine_options;
+  engine_options.partitioner = options_.partitioner;
+  StatusOr<std::unique_ptr<partition::PartitionedEngine>> engine =
+      partition::PartitionedEngine::Create(
+          *graph, static_cast<int>(shards_.size()), engine_options);
+  if (!engine.ok()) return engine.status();
+  partitioned_engine_ = std::move(engine).value();
+  partitioned_registry_ = registry;
+  // One batcher per part: the part's query stream micro-batches
+  // independently (its own worker pool and admission queue), but every
+  // batcher answers through the single partitioned engine.
+  for (size_t p = 0; p < shards_.size(); ++p) {
+    part_stats_.push_back(std::make_unique<serve::ServeStats>());
+    part_batchers_.push_back(std::make_unique<serve::RequestBatcher>(
+        partitioned_engine_.get(), registry,
+        ResolverPinnedBatcherOptions(options_.batcher, registry,
+                                     &pinned_version_),
+        part_stats_.back().get()));
+  }
+  // Snapshot chain for streamed mutations. Incompatible graphs (directed,
+  // self loops) still serve; SubmitMutation reports the stored status.
+  StatusOr<dyn::GraphSnapshot> snap = dyn::GraphSnapshot::FromGraph(*graph);
+  if (snap.ok()) {
+    partitioned_snapshot_ = std::move(snap).value();
+  } else {
+    partitioned_stream_status_ = snap.status();
+  }
+  partitioned_ = true;
   return Status::OK();
 }
 
@@ -125,6 +174,28 @@ std::future<serve::QueryResult> ServingFabric::Route(
 
 std::future<serve::QueryResult> ServingFabric::Query(int node,
                                                      double deadline_ms) {
+  if (partitioned_) {
+    // Route by the plan's ownership map, not the hash ring: the owning
+    // part is the only one holding the node's final hidden row.
+    const std::vector<int>& part_of = partitioned_engine_->plan().part_of;
+    if (node < 0 || node >= static_cast<int>(part_of.size())) {
+      return FailedFuture(Status::InvalidArgument(
+          StrFormat("Query: node %d outside [0, %d)", node,
+                    static_cast<int>(part_of.size()))));
+    }
+    const int part = part_of[node];
+    serve::RequestBatcher& batcher = *part_batchers_[part];
+    if (options_.router_queue_limit > 0 &&
+        batcher.queue_depth() >= options_.router_queue_limit) {
+      m_shed_->Increment();
+      part_stats_[part]->RecordRejected();
+      return FailedFuture(Status::ResourceExhausted(
+          StrFormat("part %d at router queue limit %d", part,
+                    options_.router_queue_limit)));
+    }
+    m_routed_->Increment();
+    return batcher.Enqueue(node, deadline_ms);
+  }
   if (!single_graph_) {
     return FailedFuture(Status::InvalidArgument(
         "Query: fabric is not in single-graph mode (use QueryTenant)"));
@@ -144,6 +215,23 @@ Status ServingFabric::Rollout(int version) {
   }
   // Prepare: every shard must be able to serve `version` before any shard
   // flips. Warm failures abort with no observable change anywhere.
+  if (partitioned_) {
+    // One engine to prepare: warm all per-part layer states for `version`
+    // (and reject unsupported families) before the pin flips.
+    std::shared_ptr<const serve::ServableModel> model =
+        partitioned_registry_->Version(version);
+    if (model == nullptr) {
+      return Status::NotFound(
+          StrFormat("Rollout: version %d is not loaded", version));
+    }
+    if (options_.warm_on_rollout) {
+      Status warmed = partitioned_engine_->Warm(*model);
+      if (!warmed.ok()) return warmed;
+    }
+    pinned_version_.store(version, std::memory_order_release);
+    m_rollouts_->Increment();
+    return Status::OK();
+  }
   if (options_.warm_on_rollout) {
     for (auto& shard : shards_) {
       Status warmed = shard->WarmVersion(version);
@@ -159,6 +247,17 @@ Status ServingFabric::Rollout(int version) {
 
 StatusOr<uint64_t> ServingFabric::SubmitMutation(const std::string& tenant,
                                                  dyn::Mutation mutation) {
+  if (partitioned_) {
+    if (tenant != kDefaultTenant) {
+      return Status::NotFound(StrFormat(
+          "SubmitMutation: partitioned fabric serves only tenant '%s'",
+          kDefaultTenant));
+    }
+    std::lock_guard<std::mutex> lock(partitioned_stream_mu_);
+    if (!partitioned_stream_status_.ok()) return partitioned_stream_status_;
+    partitioned_pending_.push_back(std::move(mutation));
+    return ++partitioned_seq_;
+  }
   dyn::StreamingServer* stream =
       shards_[ring_.ShardForKey(tenant)]->stream(tenant);
   if (stream == nullptr) {
@@ -170,6 +269,29 @@ StatusOr<uint64_t> ServingFabric::SubmitMutation(const std::string& tenant,
 }
 
 Status ServingFabric::PublishStream(const std::string& tenant) {
+  if (partitioned_) {
+    if (tenant != kDefaultTenant) {
+      return Status::NotFound(StrFormat(
+          "PublishStream: partitioned fabric serves only tenant '%s'",
+          kDefaultTenant));
+    }
+    std::lock_guard<std::mutex> lock(partitioned_stream_mu_);
+    if (!partitioned_stream_status_.ok()) return partitioned_stream_status_;
+    if (partitioned_pending_.empty()) return Status::OK();
+    StatusOr<std::pair<dyn::GraphSnapshot, dyn::BatchDelta>> next =
+        partitioned_snapshot_.Apply(partitioned_pending_);
+    if (!next.ok()) {
+      // The whole batch was rejected; drop it so the chain stays clean.
+      partitioned_pending_.clear();
+      return next.status();
+    }
+    partitioned_pending_.clear();
+    auto [snap, delta] = std::move(next).value();
+    Status applied = partitioned_engine_->ApplyDelta(snap, delta);
+    if (!applied.ok()) return applied;
+    partitioned_snapshot_ = std::move(snap);
+    return Status::OK();
+  }
   EngineShard& shard = *shards_[ring_.ShardForKey(tenant)];
   dyn::StreamingServer* stream = shard.stream(tenant);
   if (stream == nullptr) {
@@ -184,10 +306,12 @@ Status ServingFabric::PublishStream(const std::string& tenant) {
 
 void ServingFabric::Flush() {
   for (auto& shard : shards_) shard->Flush();
+  for (auto& batcher : part_batchers_) batcher->Flush();
 }
 
 void ServingFabric::Drain() {
   for (auto& shard : shards_) shard->Drain();
+  for (auto& batcher : part_batchers_) batcher->Drain();
 }
 
 }  // namespace ahg::fabric

@@ -39,15 +39,18 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dyn/mutation.h"
+#include "dyn/snapshot.h"
 #include "dyn/stream_server.h"
 #include "fabric/hash_ring.h"
 #include "fabric/shard.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
+#include "partition/partitioned_engine.h"
 #include "serve/model_registry.h"
 #include "util/status.h"
 
@@ -75,6 +78,8 @@ struct FabricOptions {
   // every shard before the flip, so the first post-flip query on each
   // shard pays a row gather instead of a full forward.
   bool warm_on_rollout = true;
+  // Partitioner knobs for ServePartitioned (seed, balance epsilon, ...).
+  partition::PartitionerOptions partitioner;
 };
 
 class ServingFabric {
@@ -96,6 +101,17 @@ class ServingFabric {
   // Multi-tenant mode: pin `tenant` to ring-assigned shard.
   Status AddTenant(const std::string& tenant, const Graph* graph,
                    const serve::ModelRegistry* registry);
+
+  // Partitioned mode: edge-cut `graph` into num_shards parts and serve it
+  // from ONE PartitionedEngine — each part holds only its owned nodes plus
+  // a halo appendix, so fabric-resident memory scales ~1/num_shards
+  // instead of replicating the graph per shard. Query() routes by the
+  // plan's node->part assignment to a per-part batcher; answers are
+  // bitwise identical to the replicated modes. Only kGcn/kSgc models can
+  // roll out here. Mutually exclusive with ServeGraph and AddTenant.
+  // `graph` and `registry` must outlive the fabric.
+  Status ServePartitioned(const Graph* graph,
+                          const serve::ModelRegistry* registry);
 
   // Binds a tenant's dynamic-graph stream to its owning shard.
   Status AttachStream(const std::string& tenant, dyn::StreamingServer* stream);
@@ -121,12 +137,17 @@ class ServingFabric {
   }
 
   // Routes a streamed mutation to the tenant's owning shard; returns its
-  // sequence number in that tenant's stream.
+  // sequence number in that tenant's stream. In partitioned mode (tenant
+  // kDefaultTenant) the mutation queues against the fabric's snapshot
+  // chain instead.
   StatusOr<uint64_t> SubmitMutation(const std::string& tenant,
                                     dyn::Mutation mutation);
 
   // Applies the tenant's pending mutations and publishes the resulting
-  // snapshot into the owning shard's engine.
+  // snapshot into the owning shard's engine. In partitioned mode the batch
+  // steps the snapshot chain and routes the delta through the plan
+  // (PartitionedEngine::ApplyDelta) — every warmed version is refreshed
+  // over its dirty sets with per-stage halo exchange.
   Status PublishStream(const std::string& tenant);
 
   // --- Introspection ---
@@ -139,6 +160,13 @@ class ServingFabric {
   EngineShard& shard(int shard_id) { return *shards_[shard_id]; }
   const EngineShard& shard(int shard_id) const { return *shards_[shard_id]; }
   const ConsistentHashRing& ring() const { return ring_; }
+
+  // Null unless ServePartitioned was called.
+  partition::PartitionedEngine* partitioned_engine() {
+    return partitioned_engine_.get();
+  }
+  // Per-part admission/latency stats (partitioned mode only).
+  serve::ServeStats& part_stats(int part) { return *part_stats_[part]; }
 
   void Flush();
   void Drain();
@@ -157,6 +185,22 @@ class ServingFabric {
   std::atomic<int> pinned_version_{0};
   bool single_graph_ = false;
   bool multi_tenant_ = false;
+
+  // Partitioned mode: one engine, one batcher + stats per part, and a
+  // snapshot chain for streamed mutations. The snapshot is built eagerly
+  // at ServePartitioned; when the graph is incompatible with snapshots
+  // (directed, self loops) serving still works and mutation submission
+  // fails with the stored status.
+  bool partitioned_ = false;
+  const serve::ModelRegistry* partitioned_registry_ = nullptr;
+  std::unique_ptr<partition::PartitionedEngine> partitioned_engine_;
+  std::vector<std::unique_ptr<serve::ServeStats>> part_stats_;
+  std::vector<std::unique_ptr<serve::RequestBatcher>> part_batchers_;
+  dyn::GraphSnapshot partitioned_snapshot_;
+  Status partitioned_stream_status_;
+  std::vector<dyn::Mutation> partitioned_pending_;
+  uint64_t partitioned_seq_ = 0;
+  std::mutex partitioned_stream_mu_;
 
   obs::Counter* const m_routed_;
   obs::Counter* const m_shed_;

@@ -248,4 +248,48 @@ std::vector<int> Graph::LabeledNodes() const {
   return nodes;
 }
 
+StatusOr<Graph> Graph::InducedSubgraph(const std::vector<int>& nodes) const {
+  // new_id[g] = position of global id g in `nodes`, or -1 when outside the
+  // induced set. Doubles as the duplicate detector.
+  std::vector<int> new_id(num_nodes_, -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int g = nodes[i];
+    if (g < 0 || g >= num_nodes_) {
+      return Status::InvalidArgument(
+          StrFormat("induced node %d outside [0, %d)", g, num_nodes_));
+    }
+    if (new_id[g] >= 0) {
+      return Status::InvalidArgument(StrFormat("duplicate induced node %d", g));
+    }
+    new_id[g] = static_cast<int>(i);
+  }
+
+  const int n = static_cast<int>(nodes.size());
+  std::vector<Edge> sub_edges;
+  for (const Edge& e : edges_) {
+    const int s = new_id[e.src];
+    const int d = new_id[e.dst];
+    if (s >= 0 && d >= 0) sub_edges.push_back({s, d, e.weight});
+  }
+
+  Matrix sub_features;
+  if (features_.rows() > 0) {
+    sub_features = Matrix(n, features_.cols());
+    for (int i = 0; i < n; ++i) {
+      const double* src = features_.Row(nodes[i]);
+      std::copy(src, src + features_.cols(), sub_features.Row(i));
+    }
+  }
+
+  std::vector<int> sub_labels(n, -1);
+  if (!labels_.empty()) {
+    for (int i = 0; i < n; ++i) sub_labels[i] = labels_[nodes[i]];
+  }
+
+  // The edge map is injective (distinct edges of a valid parent stay
+  // distinct under relabeling), so Create's duplicate CHECK cannot fire.
+  return Create(n, std::move(sub_edges), directed_, std::move(sub_features),
+                std::move(sub_labels), num_classes_);
+}
+
 }  // namespace ahg

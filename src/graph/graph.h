@@ -98,6 +98,16 @@ class Graph {
   // Indices of nodes with a known label (label >= 0).
   std::vector<int> LabeledNodes() const;
 
+  // The subgraph induced by `nodes`: node i of the result is nodes[i], and
+  // an edge survives iff both endpoints are in the set. Features and labels
+  // are gathered in the same order (absent features stay absent; absent
+  // labels become all-unlabeled). The order of `nodes` defines the new ids,
+  // so callers that need a specific layout (seeds-first minibatches,
+  // partition-local numbering) encode it in the input. Returns
+  // InvalidArgument on an out-of-range or duplicate id — the same contract
+  // as CreateChecked, since induced ids feed untrusted sampling paths.
+  StatusOr<Graph> InducedSubgraph(const std::vector<int>& nodes) const;
+
  private:
   void BuildAdjacencyCaches();
 

@@ -33,6 +33,8 @@ int64_t Pow2Bucket(int64_t v) {
 // read-only while kernels run.
 const GemmChoice* g_forced_gemm = nullptr;
 const SpmmChoice* g_forced_spmm = nullptr;
+const GemmChoice* g_forced_gemm_ta = nullptr;
+const GemmChoice* g_forced_gemm_tb = nullptr;
 
 }  // namespace
 
@@ -62,12 +64,13 @@ KernelTuner& KernelTuner::Global() {
   return *tuner;
 }
 
-GemmChoice KernelTuner::GetGemm(
-    const std::string& key, const std::vector<GemmChoice>& candidates,
+GemmChoice KernelTuner::GetGemmLocked(
+    std::map<std::string, GemmChoice>* table, const std::string& key,
+    const std::vector<GemmChoice>& candidates,
     const std::function<double(const GemmChoice&)>& bench) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = gemm_.find(key);
-  if (it != gemm_.end()) return it->second;
+  auto it = table->find(key);
+  if (it != table->end()) return it->second;
   GemmChoice best;
   if (!candidates.empty()) best = candidates[0];
   if (candidates.size() > 1 && AutotuneEnabled() && bench) {
@@ -81,8 +84,26 @@ GemmChoice KernelTuner::GetGemm(
     }
     ++benchmark_runs_;
   }
-  gemm_.emplace(key, best);
+  table->emplace(key, best);
   return best;
+}
+
+GemmChoice KernelTuner::GetGemm(
+    const std::string& key, const std::vector<GemmChoice>& candidates,
+    const std::function<double(const GemmChoice&)>& bench) {
+  return GetGemmLocked(&gemm_, key, candidates, bench);
+}
+
+GemmChoice KernelTuner::GetGemmTransA(
+    const std::string& key, const std::vector<GemmChoice>& candidates,
+    const std::function<double(const GemmChoice&)>& bench) {
+  return GetGemmLocked(&gemm_ta_, key, candidates, bench);
+}
+
+GemmChoice KernelTuner::GetGemmTransB(
+    const std::string& key, const std::vector<GemmChoice>& candidates,
+    const std::function<double(const GemmChoice&)>& bench) {
+  return GetGemmLocked(&gemm_tb_, key, candidates, bench);
 }
 
 SpmmChoice KernelTuner::GetSpmm(
@@ -124,6 +145,24 @@ bool KernelTuner::LookupSpmm(const std::string& key, SpmmChoice* out) const {
   return true;
 }
 
+bool KernelTuner::LookupGemmTransA(const std::string& key,
+                                   GemmChoice* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gemm_ta_.find(key);
+  if (it == gemm_ta_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+bool KernelTuner::LookupGemmTransB(const std::string& key,
+                                   GemmChoice* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gemm_tb_.find(key);
+  if (it == gemm_tb_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
 void KernelTuner::PutGemm(const std::string& key, const GemmChoice& choice) {
   std::lock_guard<std::mutex> lock(mu_);
   gemm_[key] = choice;
@@ -134,9 +173,22 @@ void KernelTuner::PutSpmm(const std::string& key, const SpmmChoice& choice) {
   spmm_[key] = choice;
 }
 
+void KernelTuner::PutGemmTransA(const std::string& key,
+                                const GemmChoice& choice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gemm_ta_[key] = choice;
+}
+
+void KernelTuner::PutGemmTransB(const std::string& key,
+                                const GemmChoice& choice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gemm_tb_[key] = choice;
+}
+
 int64_t KernelTuner::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(gemm_.size() + spmm_.size());
+  return static_cast<int64_t>(gemm_.size() + spmm_.size() + gemm_ta_.size() +
+                              gemm_tb_.size());
 }
 
 int64_t KernelTuner::benchmark_runs() const {
@@ -148,6 +200,8 @@ void KernelTuner::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   gemm_.clear();
   spmm_.clear();
+  gemm_ta_.clear();
+  gemm_tb_.clear();
   benchmark_runs_ = 0;
 }
 
@@ -162,6 +216,14 @@ std::string KernelTuner::Serialize() const {
   for (const auto& [key, choice] : spmm_) {
     os << "spmm\t" << key << "\t" << choice.cblock << "\t"
        << (choice.nnz_split ? 1 : 0) << "\n";
+  }
+  for (const auto& [key, choice] : gemm_ta_) {
+    os << "gemm_ta\t" << key << "\t" << choice.jblock << "\t" << choice.kpanel
+       << "\n";
+  }
+  for (const auto& [key, choice] : gemm_tb_) {
+    os << "gemm_tb\t" << key << "\t" << choice.jblock << "\t" << choice.kpanel
+       << "\n";
   }
   return os.str();
 }
@@ -189,6 +251,12 @@ bool KernelTuner::Deserialize(const std::string& text) {
       PutGemm(key, GemmChoice{static_cast<int>(v2), static_cast<int>(v3)});
     } else if (kind == "spmm") {
       PutSpmm(key, SpmmChoice{static_cast<int>(v2), v3 != 0});
+    } else if (kind == "gemm_ta") {
+      PutGemmTransA(key,
+                    GemmChoice{static_cast<int>(v2), static_cast<int>(v3)});
+    } else if (kind == "gemm_tb") {
+      PutGemmTransB(key,
+                    GemmChoice{static_cast<int>(v2), static_cast<int>(v3)});
     }
     // Unknown kinds from newer writers are ignored.
   }
@@ -242,5 +310,26 @@ ScopedForcedSpmm::ScopedForcedSpmm(const SpmmChoice& choice)
 }
 
 ScopedForcedSpmm::~ScopedForcedSpmm() { g_forced_spmm = saved_; }
+
+const GemmChoice* ForcedGemmTransA() { return g_forced_gemm_ta; }
+const GemmChoice* ForcedGemmTransB() { return g_forced_gemm_tb; }
+
+ScopedForcedGemmTransA::ScopedForcedGemmTransA(const GemmChoice& choice)
+    : saved_(g_forced_gemm_ta), choice_(choice) {
+  g_forced_gemm_ta = &choice_;
+}
+
+ScopedForcedGemmTransA::~ScopedForcedGemmTransA() {
+  g_forced_gemm_ta = saved_;
+}
+
+ScopedForcedGemmTransB::ScopedForcedGemmTransB(const GemmChoice& choice)
+    : saved_(g_forced_gemm_tb), choice_(choice) {
+  g_forced_gemm_tb = &choice_;
+}
+
+ScopedForcedGemmTransB::~ScopedForcedGemmTransB() {
+  g_forced_gemm_tb = saved_;
+}
 
 }  // namespace ahg::kernels

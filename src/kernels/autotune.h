@@ -70,13 +70,28 @@ class KernelTuner {
   SpmmChoice GetSpmm(const std::string& key,
                      const std::vector<SpmmChoice>& candidates,
                      const std::function<double(const SpmmChoice&)>& bench);
+  // Transposed GEMM variants (MatMulTransA / MatMulTransB). Both reuse
+  // GemmChoice with jblock = column/row tile width (0 = untiled default);
+  // kpanel is unused and serialized as 0. Tiling only regroups which output
+  // entries a pass touches — per-element accumulation order is unchanged —
+  // so these variants are exact like every other tunable.
+  GemmChoice GetGemmTransA(
+      const std::string& key, const std::vector<GemmChoice>& candidates,
+      const std::function<double(const GemmChoice&)>& bench);
+  GemmChoice GetGemmTransB(
+      const std::string& key, const std::vector<GemmChoice>& candidates,
+      const std::function<double(const GemmChoice&)>& bench);
 
   bool LookupGemm(const std::string& key, GemmChoice* out) const;
   bool LookupSpmm(const std::string& key, SpmmChoice* out) const;
+  bool LookupGemmTransA(const std::string& key, GemmChoice* out) const;
+  bool LookupGemmTransB(const std::string& key, GemmChoice* out) const;
 
   // Direct inserts (profile merge); overwrite existing entries.
   void PutGemm(const std::string& key, const GemmChoice& choice);
   void PutSpmm(const std::string& key, const SpmmChoice& choice);
+  void PutGemmTransA(const std::string& key, const GemmChoice& choice);
+  void PutGemmTransB(const std::string& key, const GemmChoice& choice);
 
   int64_t entries() const;
   // Number of benchmarked tuning events since construction/Clear. A profile
@@ -98,9 +113,16 @@ class KernelTuner {
   bool LoadFile(const std::string& path);
 
  private:
+  GemmChoice GetGemmLocked(std::map<std::string, GemmChoice>* table,
+                           const std::string& key,
+                           const std::vector<GemmChoice>& candidates,
+                           const std::function<double(const GemmChoice&)>& bench);
+
   mutable std::mutex mu_;
   std::map<std::string, GemmChoice> gemm_;
   std::map<std::string, SpmmChoice> spmm_;
+  std::map<std::string, GemmChoice> gemm_ta_;
+  std::map<std::string, GemmChoice> gemm_tb_;
   int64_t benchmark_runs_ = 0;
 };
 
@@ -108,6 +130,8 @@ class KernelTuner {
 // the tuner. Used by the bitwise-identity matrix to sweep variants.
 const GemmChoice* ForcedGemm();
 const SpmmChoice* ForcedSpmm();
+const GemmChoice* ForcedGemmTransA();
+const GemmChoice* ForcedGemmTransB();
 
 class ScopedForcedGemm {
  public:
@@ -127,6 +151,26 @@ class ScopedForcedSpmm {
  private:
   const SpmmChoice* saved_;
   SpmmChoice choice_;
+};
+
+class ScopedForcedGemmTransA {
+ public:
+  explicit ScopedForcedGemmTransA(const GemmChoice& choice);
+  ~ScopedForcedGemmTransA();
+
+ private:
+  const GemmChoice* saved_;
+  GemmChoice choice_;
+};
+
+class ScopedForcedGemmTransB {
+ public:
+  explicit ScopedForcedGemmTransB(const GemmChoice& choice);
+  ~ScopedForcedGemmTransB();
+
+ private:
+  const GemmChoice* saved_;
+  GemmChoice choice_;
 };
 
 }  // namespace ahg::kernels

@@ -1,0 +1,499 @@
+#include "partition/partitioned_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "dyn/incremental.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/inference_engine.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ahg::partition {
+
+namespace {
+
+// Dirty fraction beyond which a version is recomputed from scratch instead
+// of refreshed row-by-row (same threshold as dyn::RefreshOptions default).
+constexpr double kFullRecomputeFraction = 0.5;
+
+std::vector<int> SortedUnion(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+PartitionedEngine::PartitionedEngine(PartitionPlan plan, const Graph& graph)
+    : plan_(std::move(plan)),
+      exchange_(&plan_),
+      feature_dim_(graph.feature_dim()),
+      num_classes_(graph.num_classes()) {
+  feats_.reserve(plan_.num_parts);
+  for (const PartitionPlan::Part& part : plan_.parts) {
+    // Owned AND halo feature rows: stage-1 aggregation reads halo columns
+    // of the feature matrix, and features never need exchanging — every
+    // part copies them straight from the source graph.
+    feats_.push_back(GatherRows(graph.features(), part.locals));
+  }
+  ExportMetricsLocked();
+}
+
+StatusOr<std::unique_ptr<PartitionedEngine>> PartitionedEngine::Create(
+    const Graph& graph, int num_parts, const Options& options) {
+  if (graph.features().rows() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "partitioned engine needs a graph with node features");
+  }
+  StatusOr<PartitionPlan> plan =
+      PartitionPlan::Build(graph, num_parts, options.partitioner);
+  if (!plan.ok()) return plan.status();
+  return std::unique_ptr<PartitionedEngine>(
+      new PartitionedEngine(std::move(plan).value(), graph));
+}
+
+StatusOr<std::unique_ptr<PartitionedEngine>> PartitionedEngine::CreateFromPlan(
+    const Graph& graph, PartitionPlan plan) {
+  if (graph.features().rows() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "partitioned engine needs a graph with node features");
+  }
+  if (static_cast<int>(plan.part_of.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("plan covers %d nodes, graph has %d",
+                  static_cast<int>(plan.part_of.size()), graph.num_nodes()));
+  }
+  return std::unique_ptr<PartitionedEngine>(
+      new PartitionedEngine(std::move(plan), graph));
+}
+
+bool PartitionedEngine::Supports(const ModelConfig& config) {
+  return config.family == ModelFamily::kGcn ||
+         config.family == ModelFamily::kSgc;
+}
+
+int PartitionedEngine::NumStages(const ModelConfig& config) {
+  // GCN stage s = H^(s); SGC stage 1 = Z = XW + b, stages 2..L+1 = A^k Z.
+  return config.family == ModelFamily::kGcn ? config.num_layers
+                                            : config.num_layers + 1;
+}
+
+bool PartitionedEngine::HasHalo() const {
+  for (const PartitionPlan::Part& part : plan_.parts) {
+    if (!part.halo_globals.empty()) return true;
+  }
+  return false;
+}
+
+uint64_t PartitionedEngine::snapshot_version() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return snapshot_version_;
+}
+
+int64_t PartitionedEngine::rows_exchanged() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return exchange_.rows_exchanged();
+}
+
+int64_t PartitionedEngine::PartResidentBytes(int p) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  AHG_CHECK(p >= 0 && p < plan_.num_parts);
+  const PartitionPlan::Part& part = plan_.parts[p];
+  int64_t bytes = feats_[p].size() * static_cast<int64_t>(sizeof(double));
+  bytes += (part.adj.rows() + 1) * static_cast<int64_t>(sizeof(int64_t)) +
+           part.adj.nnz() *
+               static_cast<int64_t>(sizeof(int) + sizeof(double));
+  for (const auto& [version, vs] : versions_) {
+    (void)version;
+    for (const Matrix& state : vs.states[p]) {
+      bytes += state.size() * static_cast<int64_t>(sizeof(double));
+    }
+  }
+  return bytes;
+}
+
+void PartitionedEngine::ComputeStageRows(VersionState* vs, int p, int s,
+                                         const std::vector<int>& rows) {
+  if (rows.empty()) return;
+  const PartitionPlan::Part& part = plan_.parts[p];
+  Matrix& state = vs->states[p][s - 1];
+  if (vs->config.family == ModelFamily::kGcn) {
+    const Matrix& prev = s == 1 ? feats_[p] : vs->states[p][s - 2];
+    Matrix agg = part.adj.SpmmRows(rows, prev);
+    Matrix h = dyn::DenseLayerTransform(agg, vs->layer_params[2 * (s - 1)],
+                                        vs->layer_params[2 * (s - 1) + 1],
+                                        /*relu=*/true);
+    ScatterRows(h, rows, &state);
+  } else if (s == 1) {  // kSgc linear map: row-local, reads features.
+    Matrix z = dyn::DenseLayerTransform(GatherRows(feats_[p], rows),
+                                        vs->layer_params[0], vs->layer_params[1],
+                                        /*relu=*/false);
+    ScatterRows(z, rows, &state);
+  } else {  // kSgc propagation hop.
+    Matrix h = part.adj.SpmmRows(rows, vs->states[p][s - 2]);
+    ScatterRows(h, rows, &state);
+  }
+}
+
+void PartitionedEngine::RecomputeLocked(VersionState* vs) {
+  const int P = plan_.num_parts;
+  const int S = NumStages(vs->config);
+  vs->states.assign(P, {});
+  for (int p = 0; p < P; ++p) {
+    vs->states[p].reserve(S);
+    for (int s = 0; s < S; ++s) {
+      vs->states[p].emplace_back(plan_.parts[p].num_local(),
+                                 vs->config.hidden_dim);
+    }
+  }
+  const bool exchange = HasHalo();
+  for (int s = 1; s <= S; ++s) {
+    for (int p = 0; p < P; ++p) {
+      ComputeStageRows(vs, p, s, plan_.parts[p].owned_locals);
+    }
+    if (!exchange) continue;
+    // Fixed order: post all parts ascending, then deliver all parts
+    // ascending — the halo rows of stage s are in place before any part
+    // reads them at stage s + 1.
+    for (int p = 0; p < P; ++p) exchange_.PostBoundary(p, vs->states[p][s - 1]);
+    for (int p = 0; p < P; ++p) exchange_.DeliverHalo(p, &vs->states[p][s - 1]);
+  }
+}
+
+Status PartitionedEngine::WarmLocked(const serve::ServableModel& model) {
+  if (versions_.count(model.version) != 0) return Status::OK();
+  AHG_TRACE_SPAN_ARG("partition/warm", model.version);
+  if (!Supports(model.config)) {
+    return Status::InvalidArgument(
+        "partitioned engine supports kGcn and kSgc model families only");
+  }
+  if (model.config.in_dim != feature_dim_) {
+    return Status::InvalidArgument(
+        StrFormat("model in_dim %d does not match graph feature_dim %d",
+                  model.config.in_dim, feature_dim_));
+  }
+  const int expected =
+      model.config.family == ModelFamily::kGcn ? 2 * model.config.num_layers + 2
+                                               : 4;
+  if (static_cast<int>(model.params.size()) != expected) {
+    return Status::InvalidArgument(
+        StrFormat("model has %d param tensors, family expects %d",
+                  static_cast<int>(model.params.size()), expected));
+  }
+  VersionState vs;
+  vs.config = model.config;
+  vs.layer_params.assign(model.params.begin(), model.params.end() - 2);
+  RecomputeLocked(&vs);
+  versions_.emplace(model.version, std::move(vs));
+  return Status::OK();
+}
+
+StatusOr<Matrix> PartitionedEngine::GatherAndHead(
+    const VersionState& vs, const serve::ServableModel& model,
+    const std::vector<int>& nodes) const {
+  const int n = static_cast<int>(plan_.part_of.size());
+  Matrix hidden(static_cast<int>(nodes.size()), vs.config.hidden_dim);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int g = nodes[i];
+    if (g < 0 || g >= n) {
+      return Status::InvalidArgument(
+          StrFormat("node %d outside [0, %d)", g, n));
+    }
+    const int p = plan_.part_of[g];
+    const PartitionPlan::Part& part = plan_.parts[p];
+    const Matrix& final_state = vs.states[p].back();
+    std::memcpy(hidden.Row(static_cast<int>(i)),
+                final_state.Row(part.local_of.at(g)),
+                static_cast<size_t>(vs.config.hidden_dim) * sizeof(double));
+  }
+  return serve::ApplyClassifierHead(hidden, model);
+}
+
+StatusOr<Matrix> PartitionedEngine::PredictNodes(
+    const serve::ServableModel& model, const std::vector<int>& nodes) {
+  AHG_TRACE_SPAN_ARG("partition/predict", static_cast<int64_t>(nodes.size()));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = versions_.find(model.version);
+    if (it != versions_.end()) return GatherAndHead(it->second, model, nodes);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Status warmed = WarmLocked(model);
+  if (!warmed.ok()) return warmed;
+  return GatherAndHead(versions_.at(model.version), model, nodes);
+}
+
+Status PartitionedEngine::Warm(const serve::ServableModel& model) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return WarmLocked(model);
+}
+
+Status PartitionedEngine::ApplyDelta(const dyn::GraphSnapshot& snap,
+                                     const dyn::BatchDelta& delta) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  AHG_TRACE_SPAN_ARG("partition/apply_delta",
+                     static_cast<int64_t>(delta.TotalMutations()));
+  if (delta.from_version != snapshot_version_ ||
+      delta.to_version != snap.version()) {
+    return Status::InvalidArgument(
+        StrFormat("delta %llu->%llu does not step the engine from version "
+                  "%llu onto snapshot %llu",
+                  static_cast<unsigned long long>(delta.from_version),
+                  static_cast<unsigned long long>(delta.to_version),
+                  static_cast<unsigned long long>(snapshot_version_),
+                  static_cast<unsigned long long>(snap.version())));
+  }
+  if (snap.feature_dim() != feature_dim_) {
+    return Status::InvalidArgument("snapshot feature_dim changed");
+  }
+  const int P = plan_.num_parts;
+  const int n_old = static_cast<int>(plan_.part_of.size());
+  const int n_new = snap.num_nodes();
+  const dyn::DeltaCsr& gadj = snap.adjacency();
+
+  // 1. Appended nodes go to the currently smallest part (ties: lowest id).
+  std::vector<int64_t> owned_count(P);
+  for (int p = 0; p < P; ++p) owned_count[p] = plan_.parts[p].num_owned();
+  for (int g = n_old; g < n_new; ++g) {
+    int best = 0;
+    for (int p = 1; p < P; ++p) {
+      if (owned_count[p] < owned_count[best]) best = p;
+    }
+    plan_.part_of.push_back(best);
+    ++owned_count[best];
+  }
+
+  // 2. Per-part additions: appended nodes owned there, plus any column of a
+  // dirty owned row that is not yet in the part's local universe (new halo
+  // from cut-edge creation; appended rows count — their off-part neighbors
+  // become halo of the part that received them). Sorted ascending per part.
+  std::vector<std::vector<int>> additions(P);
+  std::vector<std::vector<int>> new_halo(P);
+  for (int g = n_old; g < n_new; ++g) {
+    additions[plan_.part_of[g]].push_back(g);
+  }
+  for (int g : delta.dirty_adj_rows) {
+    const int p = plan_.part_of[g];
+    const dyn::DeltaCsr::RowRef row = gadj.Row(g);
+    for (int64_t e = 0; e < row.nnz; ++e) {
+      const int c = row.cols[e];
+      if (plan_.parts[p].local_of.count(c) == 0) additions[p].push_back(c);
+    }
+  }
+  bool structural = false;
+  for (int p = 0; p < P; ++p) {
+    std::sort(additions[p].begin(), additions[p].end());
+    additions[p].erase(std::unique(additions[p].begin(), additions[p].end()),
+                       additions[p].end());
+    if (!additions[p].empty()) structural = true;
+    for (int g : additions[p]) {
+      if (plan_.part_of[g] != p) new_halo[p].push_back(g);
+    }
+  }
+
+  // 3. Apply the structural change per part: append when every addition is
+  // larger than the current largest local (keeps the ascending-global local
+  // numbering without renumbering); otherwise rebuild the part — re-merge
+  // the local universe and permute every resident matrix by global id.
+  std::vector<uint8_t> rebuilt(P, 0);
+  for (int p = 0; p < P; ++p) {
+    if (additions[p].empty()) continue;
+    PartitionPlan::Part& part = plan_.parts[p];
+    const bool append_only =
+        part.locals.empty() || additions[p].front() > part.locals.back();
+    if (append_only) {
+      for (int g : additions[p]) {
+        const int l = part.num_local();
+        part.locals.push_back(g);
+        part.local_of.emplace(g, l);
+        const bool owned = plan_.part_of[g] == p;
+        part.owned.push_back(owned ? 1 : 0);
+        if (owned) {
+          part.owned_locals.push_back(l);
+        } else {
+          part.halo_globals.push_back(g);
+        }
+      }
+      const int n_local = part.num_local();
+      part.adj.Grow(n_local, n_local);
+      feats_[p] = GrowRows(feats_[p], n_local);
+      for (auto& [version, vs] : versions_) {
+        (void)version;
+        for (Matrix& state : vs.states[p]) state = GrowRows(state, n_local);
+      }
+      for (int g : additions[p]) {
+        std::memcpy(feats_[p].Row(part.local_of.at(g)), snap.FeatureRow(g),
+                    static_cast<size_t>(feature_dim_) * sizeof(double));
+      }
+      continue;
+    }
+
+    // Rebuild path: a new halo node falls between existing locals, so the
+    // whole local id space shifts. Old rows are carried over by global id;
+    // rows new to the part are zero and get their values from the dirty
+    // recompute (owned) or the forced halo delivery (halo) below.
+    rebuilt[p] = 1;
+    const std::vector<int> old_locals = std::move(part.locals);
+    const std::unordered_map<int, int> old_local_of = std::move(part.local_of);
+    part.locals.clear();
+    std::merge(old_locals.begin(), old_locals.end(), additions[p].begin(),
+               additions[p].end(), std::back_inserter(part.locals));
+    const int n_local = part.num_local();
+    part.local_of = {};
+    part.local_of.reserve(n_local);
+    part.owned.assign(n_local, 0);
+    part.owned_locals.clear();
+    part.halo_globals.clear();
+    for (int l = 0; l < n_local; ++l) {
+      const int g = part.locals[l];
+      part.local_of.emplace(g, l);
+      if (plan_.part_of[g] == p) {
+        part.owned[l] = 1;
+        part.owned_locals.push_back(l);
+      } else {
+        part.halo_globals.push_back(g);
+      }
+    }
+    std::vector<CooEntry> entries;
+    for (int l : part.owned_locals) {
+      const dyn::DeltaCsr::RowRef row = gadj.Row(part.locals[l]);
+      for (int64_t e = 0; e < row.nnz; ++e) {
+        entries.push_back({l, part.local_of.at(row.cols[e]), row.vals[e]});
+      }
+    }
+    part.adj = dyn::DeltaCsr(std::make_shared<const SparseMatrix>(
+        SparseMatrix::FromCoo(n_local, n_local, std::move(entries))));
+    Matrix new_feats(n_local, feature_dim_);
+    for (int l = 0; l < n_local; ++l) {
+      const int g = part.locals[l];
+      auto it = old_local_of.find(g);
+      const double* src =
+          it != old_local_of.end() ? feats_[p].Row(it->second)
+                                   : snap.FeatureRow(g);
+      std::memcpy(new_feats.Row(l), src,
+                  static_cast<size_t>(feature_dim_) * sizeof(double));
+    }
+    feats_[p] = std::move(new_feats);
+    for (auto& [version, vs] : versions_) {
+      (void)version;
+      for (Matrix& state : vs.states[p]) {
+        Matrix permuted(n_local, state.cols());
+        for (int l = 0; l < n_local; ++l) {
+          auto it = old_local_of.find(part.locals[l]);
+          if (it == old_local_of.end()) continue;  // new row, stays zero
+          std::memcpy(permuted.Row(l), state.Row(it->second),
+                      static_cast<size_t>(state.cols()) * sizeof(double));
+        }
+        state = std::move(permuted);
+      }
+    }
+  }
+
+  // 4. Patch dirty adjacency rows on their owning part (rebuilt parts are
+  // already fresh). Columns of the global row map to ascending local ids,
+  // so the override preserves entry order.
+  for (int g : delta.dirty_adj_rows) {
+    const int p = plan_.part_of[g];
+    if (rebuilt[p]) continue;
+    PartitionPlan::Part& part = plan_.parts[p];
+    const int l = part.local_of.at(g);
+    const dyn::DeltaCsr::RowRef row = gadj.Row(g);
+    std::vector<int> cols(row.nnz);
+    std::vector<double> vals(row.vals, row.vals + row.nnz);
+    for (int64_t e = 0; e < row.nnz; ++e) {
+      cols[e] = part.local_of.at(row.cols[e]);
+    }
+    part.adj.OverrideRow(l, std::move(cols), std::move(vals));
+  }
+
+  // 5. Dirty feature rows land on EVERY part holding the row (owner or
+  // halo): stage-1 aggregation reads halo feature rows locally.
+  for (int g : delta.dirty_feature_rows) {
+    for (int p = 0; p < P; ++p) {
+      auto it = plan_.parts[p].local_of.find(g);
+      if (it == plan_.parts[p].local_of.end()) continue;
+      std::memcpy(feats_[p].Row(it->second), snap.FeatureRow(g),
+                  static_cast<size_t>(feature_dim_) * sizeof(double));
+    }
+  }
+
+  if (structural) {
+    plan_.halo_nodes_total = 0;
+    for (const PartitionPlan::Part& part : plan_.parts) {
+      plan_.halo_nodes_total += part.num_halo();
+    }
+    exchange_.Rebuild();
+  }
+
+  // 6. Forced halo set: globals some part now holds as halo but whose
+  // hidden states it has never received. For GCN every such node is in
+  // every dirty level (its adjacency row changed), but SGC's Z level is
+  // feature-dirty only — so the union is forced into every post set.
+  std::vector<int> forced;
+  for (int p = 0; p < P; ++p) {
+    forced.insert(forced.end(), new_halo[p].begin(), new_halo[p].end());
+  }
+  std::sort(forced.begin(), forced.end());
+  forced.erase(std::unique(forced.begin(), forced.end()), forced.end());
+
+  // 7. Refresh every warmed version over the per-layer dirty sets.
+  const bool exchange = HasHalo();
+  for (auto& [version, vs] : versions_) {
+    (void)version;
+    const std::vector<std::vector<int>> dirty =
+        dyn::PerLayerDirtyRows(vs.config, gadj, delta);
+    const double fraction =
+        n_new > 0 ? static_cast<double>(dirty.back().size()) / n_new : 0.0;
+    if (fraction > kFullRecomputeFraction) {
+      RecomputeLocked(&vs);
+      continue;
+    }
+    const int S = NumStages(vs.config);
+    AHG_CHECK_EQ(static_cast<int>(dirty.size()), S);
+    for (int s = 1; s <= S; ++s) {
+      const std::vector<int>& level = dirty[s - 1];
+      for (int p = 0; p < P; ++p) {
+        std::vector<int> rows;  // owned dirty rows, ascending local == global
+        const PartitionPlan::Part& part = plan_.parts[p];
+        for (int g : level) {
+          if (plan_.part_of[g] == p) rows.push_back(part.local_of.at(g));
+        }
+        ComputeStageRows(&vs, p, s, rows);
+      }
+      if (!exchange) continue;
+      const std::vector<int> post = SortedUnion(level, forced);
+      for (int p = 0; p < P; ++p) {
+        exchange_.PostBoundaryDirty(p, vs.states[p][s - 1], post);
+      }
+      for (int p = 0; p < P; ++p) {
+        exchange_.DeliverHalo(p, &vs.states[p][s - 1]);
+      }
+    }
+  }
+
+  for (PartitionPlan::Part& part : plan_.parts) part.adj.MaybeCompact();
+  snapshot_version_ = snap.version();
+  obs::MetricsRegistry::Global()
+      .GetCounter("partition.deltas_applied")
+      ->Increment(1);
+  ExportMetricsLocked();
+  return Status::OK();
+}
+
+void PartitionedEngine::ExportMetricsLocked() const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("partition.parts")->Set(plan_.num_parts);
+  reg.GetGauge("partition.cut_edges")
+      ->Set(static_cast<double>(plan_.metrics.cut_edges));
+  reg.GetGauge("partition.imbalance")->Set(plan_.metrics.balance_factor);
+  reg.GetGauge("partition.halo_nodes")
+      ->Set(static_cast<double>(plan_.halo_nodes_total));
+}
+
+}  // namespace ahg::partition

@@ -1,0 +1,132 @@
+// Inference over a K-part PartitionPlan with bitwise conformance to the
+// lone InferenceEngine.
+//
+// Memory is the point: each part holds only its owned nodes plus a halo
+// appendix — features, local adjacency, and per-version layer states all
+// scale ~1/K + halo overhead instead of K full replicas (bench/
+// partition_scale proves the bound with AllocTracker). Compute runs the
+// same per-row kernels as the single engine: at every propagation stage
+// each part computes its owned rows with DeltaCsr::SpmmRows + the shared
+// dyn::DenseLayerTransform, then boundary rows cross the HaloExchange in a
+// fixed merge order. Because each part's local universe is numbered in
+// ascending global id (see plan.h), local adjacency rows preserve the
+// global entry order, the subset-exact kernels reproduce the global rows
+// bitwise, and a query answered here is memcmp-identical to the lone
+// engine — the conformance matrix partition_test asserts across synthetic
+// families, part counts, and thread counts.
+//
+// Families: kGcn and kSgc (the row-local layer structures), the same gate
+// as dyn::IncrementalPropagator::Supports. Everything else is rejected
+// with InvalidArgument — callers fall back to the replicated path.
+//
+// Dynamic graphs: ApplyDelta routes a mutation batch through the plan —
+// adjacency rows are patched copy-on-write on their owning part, new nodes
+// are appended to the least-loaded part, new halo dependencies are
+// materialized, and each resident model version is refreshed over the
+// L-hop dirty sets (dyn::PerLayerDirtyRows) with per-stage dirty halo
+// exchange. Orphaned halo rows (references removed by edge deletions) are
+// kept; they are unused and merely occupy their row until a rebuild.
+#ifndef AUTOHENS_PARTITION_PARTITIONED_ENGINE_H_
+#define AUTOHENS_PARTITION_PARTITIONED_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "dyn/snapshot.h"
+#include "graph/graph.h"
+#include "partition/halo_exchange.h"
+#include "partition/plan.h"
+#include "serve/model_registry.h"
+#include "serve/node_predictor.h"
+#include "util/status.h"
+
+namespace ahg::partition {
+
+class PartitionedEngine : public serve::NodePredictor {
+ public:
+  struct Options {
+    PartitionerOptions partitioner;
+  };
+
+  // Builds the plan for `graph` and gathers per-part features. The graph
+  // must carry features and outlives nothing — all state is copied into
+  // the parts (that is the product: no full replica is retained).
+  static StatusOr<std::unique_ptr<PartitionedEngine>> Create(
+      const Graph& graph, int num_parts, const Options& options = {});
+
+  // Same, over a pre-built plan (tests, external assignments).
+  static StatusOr<std::unique_ptr<PartitionedEngine>> CreateFromPlan(
+      const Graph& graph, PartitionPlan plan);
+
+  // True for the model families the partitioned forward understands.
+  static bool Supports(const ModelConfig& config);
+
+  // Class probabilities for `nodes` (rows in input order): each node is
+  // resolved to its owning part, the final-stage hidden row is gathered,
+  // and the classifier head applied — bitwise identical to the lone
+  // engine's answer. Warms the version on first use.
+  StatusOr<Matrix> PredictNodes(const serve::ServableModel& model,
+                                const std::vector<int>& nodes) override;
+
+  // Computes and parks all layer states for `model` (rollout warm-up).
+  Status Warm(const serve::ServableModel& model);
+
+  // Applies one mutation step: `delta` must describe snapshot_version() ->
+  // snap.version(). Refreshes every warmed model version incrementally
+  // (full per-part recompute when the dirty fraction exceeds 0.5).
+  Status ApplyDelta(const dyn::GraphSnapshot& snap,
+                    const dyn::BatchDelta& delta);
+
+  const PartitionPlan& plan() const { return plan_; }
+  int num_parts() const { return plan_.num_parts; }
+  // Snapshot version the parts currently reflect (0 = the Create graph).
+  uint64_t snapshot_version() const;
+  int64_t rows_exchanged() const;
+
+  // Analytic resident bytes of part p: features + local CSR + all warmed
+  // layer states. The bench cross-checks this against AllocTracker deltas.
+  int64_t PartResidentBytes(int p) const;
+
+ private:
+  // Per warmed model version: config, layer params (head excluded), and
+  // states[part][stage] where stage s holds the part-local matrix of
+  // pipeline stage s + 1 (stage 0 input is the shared feature matrix).
+  struct VersionState {
+    ModelConfig config;
+    std::vector<Matrix> layer_params;
+    std::vector<std::vector<Matrix>> states;
+  };
+
+  PartitionedEngine(PartitionPlan plan, const Graph& graph);
+
+  static int NumStages(const ModelConfig& config);
+  bool HasHalo() const;
+
+  Status WarmLocked(const serve::ServableModel& model);
+  // Recomputes every stage of `vs` from the current features/adjacency.
+  void RecomputeLocked(VersionState* vs);
+  // Computes owned `rows` (local ids, ascending) of stage `s` (1-based)
+  // for part p and scatters them into the stage matrix.
+  void ComputeStageRows(VersionState* vs, int p, int s,
+                        const std::vector<int>& rows);
+  StatusOr<Matrix> GatherAndHead(const VersionState& vs,
+                                 const serve::ServableModel& model,
+                                 const std::vector<int>& nodes) const;
+  void ExportMetricsLocked() const;
+
+  mutable std::shared_mutex mu_;
+  PartitionPlan plan_;
+  HaloExchange exchange_;
+  int feature_dim_ = 0;
+  int num_classes_ = 0;
+  uint64_t snapshot_version_ = 0;
+  std::vector<Matrix> feats_;  // [part] n_local x feature_dim, halo included
+  std::map<int, VersionState> versions_;
+};
+
+}  // namespace ahg::partition
+
+#endif  // AUTOHENS_PARTITION_PARTITIONED_ENGINE_H_

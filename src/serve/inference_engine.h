@@ -20,6 +20,7 @@
 
 #include "graph/graph.h"
 #include "serve/model_registry.h"
+#include "serve/node_predictor.h"
 #include "serve/propagation_cache.h"
 #include "serve/serve_stats.h"
 #include "util/status.h"
@@ -59,7 +60,7 @@ struct EngineOptions {
   std::string cache_scope;
 };
 
-class InferenceEngine {
+class InferenceEngine : public NodePredictor {
  public:
   // `graph` must outlive the engine. `stats` is optional; when set, cache
   // hits/misses and the pinned byte count are reported there.
@@ -73,7 +74,7 @@ class InferenceEngine {
   // columns). InvalidArgument on an out-of-range node id or a model whose
   // in_dim does not match the graph.
   StatusOr<Matrix> PredictNodes(const ServableModel& model,
-                                const std::vector<int>& nodes);
+                                const std::vector<int>& nodes) override;
 
   // Full-graph probabilities through the same cached path.
   StatusOr<Matrix> PredictAll(const ServableModel& model);

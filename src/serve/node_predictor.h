@@ -1,0 +1,35 @@
+// Minimal surface the serving front end needs from a backend: class
+// probabilities for a list of node ids under one model version.
+//
+// InferenceEngine (whole-graph replica) and partition::PartitionedEngine
+// (K-part plan with halo exchange) both implement it, so RequestBatcher
+// and the fabric run unchanged over either backend. Implementations must
+// be thread-safe for concurrent PredictNodes calls and must produce
+// bitwise-identical rows for a given (model version, node id) regardless
+// of batch composition or thread count — the conformance property every
+// serving test memcmps.
+#ifndef AUTOHENS_SERVE_NODE_PREDICTOR_H_
+#define AUTOHENS_SERVE_NODE_PREDICTOR_H_
+
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace ahg::serve {
+
+class NodePredictor {
+ public:
+  virtual ~NodePredictor() = default;
+
+  // Class probabilities for `nodes` (rows in input order, num_classes
+  // columns). InvalidArgument on an out-of-range node id or a model that
+  // does not match the backing graph.
+  virtual StatusOr<Matrix> PredictNodes(const ServableModel& model,
+                                        const std::vector<int>& nodes) = 0;
+};
+
+}  // namespace ahg::serve
+
+#endif  // AUTOHENS_SERVE_NODE_PREDICTOR_H_

@@ -11,7 +11,7 @@
 
 namespace ahg::serve {
 
-RequestBatcher::RequestBatcher(InferenceEngine* engine,
+RequestBatcher::RequestBatcher(NodePredictor* engine,
                                const ModelRegistry* registry,
                                const BatcherOptions& options,
                                ServeStats* stats)

@@ -30,8 +30,8 @@
 #include <thread>
 #include <vector>
 
-#include "serve/inference_engine.h"
 #include "serve/model_registry.h"
+#include "serve/node_predictor.h"
 #include "serve/serve_stats.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -67,8 +67,9 @@ class RequestBatcher {
  public:
   // `engine`, `registry` and `stats` must outlive the batcher. The model is
   // resolved per batch via registry->Active(), so a Refresh() hot-swap takes
-  // effect at the next batch boundary.
-  RequestBatcher(InferenceEngine* engine, const ModelRegistry* registry,
+  // effect at the next batch boundary. Any NodePredictor works — replicated
+  // InferenceEngine or partitioned backend alike.
+  RequestBatcher(NodePredictor* engine, const ModelRegistry* registry,
                  const BatcherOptions& options, ServeStats* stats);
 
   // Drains in-flight batches before destruction.
@@ -119,7 +120,7 @@ class RequestBatcher {
   // two bounds comes first — see the deadline-race note in ExecuteBatch).
   void FlusherLoop();
 
-  InferenceEngine* const engine_;
+  NodePredictor* const engine_;
   const ModelRegistry* const registry_;
   const BatcherOptions options_;
   ServeStats* const stats_;

@@ -52,27 +52,12 @@ SampledBatch SampleNeighborhoodBatch(const Graph& graph,
     if (frontier.empty()) break;
   }
 
-  // Induced subgraph on the closure.
-  std::vector<Edge> edges;
-  for (const Edge& e : graph.edges()) {
-    auto src_it = index_of.find(e.src);
-    if (src_it == index_of.end()) continue;
-    auto dst_it = index_of.find(e.dst);
-    if (dst_it == index_of.end()) continue;
-    edges.push_back({src_it->second, dst_it->second, e.weight});
-  }
-  const int n = static_cast<int>(node_map.size());
-  Matrix features(n, graph.feature_dim());
-  std::vector<int> labels(n);
-  for (int i = 0; i < n; ++i) {
-    const double* src = graph.features().Row(node_map[i]);
-    std::copy(src, src + features.cols(), features.Row(i));
-    labels[i] = graph.labels()[node_map[i]];
-  }
+  // Induced subgraph on the closure; node_map order keeps seeds first, so
+  // subgraph ids 0..num_seeds-1 are the seed rows.
+  StatusOr<Graph> sub = graph.InducedSubgraph(node_map);
+  AHG_CHECK_MSG(sub.ok(), sub.status().message());
   SampledBatch batch;
-  batch.graph = Graph::Create(n, std::move(edges), graph.directed(),
-                              std::move(features), std::move(labels),
-                              graph.num_classes());
+  batch.graph = std::move(sub).value();
   batch.node_map = std::move(node_map);
   batch.num_seeds = static_cast<int>(seeds.size());
   return batch;

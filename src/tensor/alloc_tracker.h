@@ -46,6 +46,52 @@ class AllocTracker {
   static int64_t TotalAllocatedBytes();
 };
 
+// RAII byte accounting for containers the tracker cannot see through —
+// CSR index/value arrays, id maps. Holders report a size once at
+// construction and release it at destruction; copies re-report, moves
+// transfer. Used so the partition-scale bench compares *resident graph
+// structure* on both sides, not just dense Matrix buffers.
+class TrackedBytes {
+ public:
+  TrackedBytes() = default;
+  explicit TrackedBytes(size_t bytes) : bytes_(bytes) {
+    if (bytes_ > 0) AllocTracker::Add(bytes_);
+  }
+  TrackedBytes(const TrackedBytes& other) : bytes_(other.bytes_) {
+    if (bytes_ > 0) AllocTracker::Add(bytes_);
+  }
+  TrackedBytes& operator=(const TrackedBytes& other) {
+    if (this == &other) return *this;
+    Reset(other.bytes_);
+    return *this;
+  }
+  TrackedBytes(TrackedBytes&& other) noexcept : bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  TrackedBytes& operator=(TrackedBytes&& other) noexcept {
+    if (this == &other) return *this;
+    if (bytes_ > 0) AllocTracker::Remove(bytes_);
+    bytes_ = other.bytes_;
+    other.bytes_ = 0;
+    return *this;
+  }
+  ~TrackedBytes() {
+    if (bytes_ > 0) AllocTracker::Remove(bytes_);
+  }
+
+  // Re-reports this holder at a new size.
+  void Reset(size_t bytes) {
+    if (bytes_ > 0) AllocTracker::Remove(bytes_);
+    bytes_ = bytes;
+    if (bytes_ > 0) AllocTracker::Add(bytes_);
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t bytes_ = 0;
+};
+
 }  // namespace ahg
 
 #endif  // AUTOHENS_TENSOR_ALLOC_TRACKER_H_

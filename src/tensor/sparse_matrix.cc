@@ -153,6 +153,12 @@ SparseMatrix SparseMatrix::BuildFromValidCoo(int rows, int cols,
     i = j;
   }
   for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  // CSR arrays are the resident footprint of graph structure; report them
+  // so AllocTracker peaks cover sparse state, not just dense Matrix buffers
+  // (the partition-scale bench depends on this for honest per-part totals).
+  m.tracked_.Reset(m.row_ptr_.size() * sizeof(int64_t) +
+                   m.col_idx_.size() * sizeof(int) +
+                   m.values_.size() * sizeof(double));
   return m;
 }
 

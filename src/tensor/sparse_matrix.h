@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/alloc_tracker.h"
 #include "tensor/matrix.h"
 #include "util/status.h"
 
@@ -101,6 +102,9 @@ class SparseMatrix {
   std::vector<int64_t> row_ptr_;
   std::vector<int> col_idx_;
   std::vector<double> values_;
+  // AllocTracker accounting for the CSR arrays above (copies re-report,
+  // moves transfer — vector copies/moves track the same way).
+  TrackedBytes tracked_;
   // Lazily built by TransposedCached(); immutable once published, so copies
   // of this matrix may share it. Reset by mutable_values().
   mutable std::shared_ptr<const SparseMatrix> transpose_cache_;

@@ -154,6 +154,58 @@ TEST(GraphTest, CreateCheckedRejectsLabelCountMismatch) {
   EXPECT_FALSE(g.ok());
 }
 
+TEST(InducedSubgraphTest, OrderOfInputDefinesNewIds) {
+  // Square 0-1-2-3-0 with a chord 0-2; take {2, 0, 3} in that order.
+  Matrix features(4, 2);
+  for (int r = 0; r < 4; ++r) {
+    features(r, 0) = r;
+    features(r, 1) = 10.0 + r;
+  }
+  Graph g = Graph::Create(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}, {0, 2, 0.5}},
+      false, std::move(features), {0, 1, 0, 1}, 2);
+  auto sub = g.InducedSubgraph({2, 0, 3});
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub.value().num_nodes(), 3);
+  // Surviving edges: 2-3, 3-0, 0-2 (chord); 0-1 and 1-2 drop with node 1.
+  EXPECT_EQ(sub.value().num_edges(), 3);
+  // Node i of the result is nodes[i]: features/labels gathered in order.
+  EXPECT_DOUBLE_EQ(sub.value().features()(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.value().features()(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sub.value().features()(2, 0), 3.0);
+  EXPECT_EQ(sub.value().labels(), (std::vector<int>{0, 0, 1}));
+  // Chord weight survives remapping: new ids 1 (old 0) and 0 (old 2).
+  Matrix dense = sub.value().Adjacency(AdjacencyKind::kRawSelfLoops).ToDense();
+  EXPECT_DOUBLE_EQ(dense(1, 0), 0.5);
+}
+
+TEST(InducedSubgraphTest, EmptySetYieldsEmptyGraph) {
+  Graph g = PathGraph();
+  auto sub = g.InducedSubgraph({});
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub.value().num_nodes(), 0);
+  EXPECT_EQ(sub.value().num_edges(), 0);
+}
+
+TEST(InducedSubgraphTest, IsolatedNodesKeepNoEdges) {
+  Graph g = PathGraph();  // 0-1-2 path, 3 isolated
+  auto sub = g.InducedSubgraph({3, 0});  // no surviving edge between them
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().num_nodes(), 2);
+  EXPECT_EQ(sub.value().num_edges(), 0);
+  EXPECT_EQ(sub.value().labels(), (std::vector<int>{-1, 0}));
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicateAndOutOfRangeIds) {
+  Graph g = PathGraph();
+  EXPECT_EQ(g.InducedSubgraph({0, 1, 0}).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(g.InducedSubgraph({0, 4}).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(g.InducedSubgraph({-1}).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
 TEST(GraphDeathTest, CreateAbortsOnDuplicateEdge) {
   EXPECT_DEATH(Graph::Create(3, {{0, 1, 1.0}, {1, 0, 1.0}}, false,
                              Matrix::Constant(3, 1, 1.0), {}, 2),

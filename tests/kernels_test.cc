@@ -207,6 +207,42 @@ TEST(BitwiseTest, GemmVariantSweepIsExact) {
   }
 }
 
+TEST(BitwiseTest, TransposedGemmVariantSweepIsExact) {
+  // Tiling the TransA/TransB passes regroups which output entries a pass
+  // touches but never the per-element accumulation order, so every forced
+  // tile width must reproduce the scalar untiled result bit for bit.
+  const Matrix a = RandomMatrix(31, 19, 201);   // k x m for TransA
+  const Matrix b = RandomMatrix(31, 23, 202);   // k x n
+  const Matrix c = RandomMatrix(17, 19, 203);   // m x k for TransB
+  const Matrix d = RandomMatrix(29, 19, 204);   // n x k
+  Matrix base_ta, base_tb;
+  {
+    ScopedTier scalar(Tier::kScalar);
+    kernels::ScopedForcedGemmTransA fa(GemmChoice{0, 0});
+    kernels::ScopedForcedGemmTransB fb(GemmChoice{0, 0});
+    base_ta = MatMulTransA(a, b);
+    base_tb = MatMulTransB(c, d);
+  }
+  std::vector<Tier> tiers = SupportedSimdTiers();
+  tiers.push_back(Tier::kScalar);
+  for (const Tier tier : tiers) {
+    for (const int tile : {0, 4, 16, 64}) {
+      for (const int threads : {1, 4}) {
+        ScopedTier t(tier);
+        ScopedNumThreads nt(threads);
+        kernels::ScopedForcedGemmTransA fa(GemmChoice{tile, 0});
+        kernels::ScopedForcedGemmTransB fb(GemmChoice{tile, 0});
+        EXPECT_TRUE(BitwiseEqual(MatMulTransA(a, b), base_ta))
+            << "trans_a " << kernels::TierName(tier) << " tile " << tile
+            << " threads " << threads;
+        EXPECT_TRUE(BitwiseEqual(MatMulTransB(c, d), base_tb))
+            << "trans_b " << kernels::TierName(tier) << " tile " << tile
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
 TEST(BitwiseTest, SpmmVariantSweepIsExact) {
   const SparseMatrix adj = RandomSparse(200, 150, 7);
   ScopedMinParallelWork grain(1);
@@ -398,15 +434,19 @@ TEST(TuningTest, ProfileRoundTripSkipsRebenchmark) {
                 [](const GemmChoice& c) { return c.jblock == 32 ? 1.0 : 2.0; });
   tuner.GetSpmm("avx512:r4096:z16384:c64", {{8, false}, {16, true}},
                 [](const SpmmChoice& c) { return c.nnz_split ? 1.0 : 2.0; });
-  EXPECT_EQ(tuner.entries(), 2);
-  EXPECT_EQ(tuner.benchmark_runs(), 2);
+  tuner.GetGemmTransA("avx512:ta:k64:n64:m4096", {{0, 0}, {16, 0}},
+                      [](const GemmChoice& c) { return c.jblock == 16 ? 1.0 : 2.0; });
+  tuner.GetGemmTransB("avx512:tb:k64:n64:m4096", {{0, 0}, {32, 0}},
+                      [](const GemmChoice& c) { return c.jblock == 0 ? 1.0 : 2.0; });
+  EXPECT_EQ(tuner.entries(), 4);
+  EXPECT_EQ(tuner.benchmark_runs(), 4);
 
   const std::string profile = tuner.Serialize();
   EXPECT_EQ(profile.rfind("ahg-tuning 1\n", 0), 0u);
 
   KernelTuner reloaded;
   ASSERT_TRUE(reloaded.Deserialize(profile));
-  EXPECT_EQ(reloaded.entries(), 2);
+  EXPECT_EQ(reloaded.entries(), 4);
   EXPECT_EQ(reloaded.benchmark_runs(), 0);  // loading is not benchmarking
   GemmChoice g;
   ASSERT_TRUE(reloaded.LookupGemm("avx512:k64:n64:m4096", &g));
@@ -416,6 +456,15 @@ TEST(TuningTest, ProfileRoundTripSkipsRebenchmark) {
   ASSERT_TRUE(reloaded.LookupSpmm("avx512:r4096:z16384:c64", &s));
   EXPECT_EQ(s.cblock, 16);
   EXPECT_TRUE(s.nnz_split);
+  GemmChoice ta;
+  ASSERT_TRUE(reloaded.LookupGemmTransA("avx512:ta:k64:n64:m4096", &ta));
+  EXPECT_EQ(ta.jblock, 16);
+  GemmChoice tb;
+  ASSERT_TRUE(reloaded.LookupGemmTransB("avx512:tb:k64:n64:m4096", &tb));
+  EXPECT_EQ(tb.jblock, 0);
+  // The transposed kinds live in separate tables: a gemm_ta key must not
+  // answer a plain gemm lookup.
+  EXPECT_FALSE(reloaded.LookupGemm("avx512:ta:k64:n64:m4096", &g));
   // The reloaded tuner serves the same variant with no benchmark callback
   // invocation at all.
   const GemmChoice served = reloaded.GetGemm(
@@ -434,6 +483,8 @@ TEST(TuningTest, SaveLoadFileRoundTrip) {
   KernelTuner tuner;
   tuner.PutGemm("scalar:k8:n8:m64", GemmChoice{4, 64});
   tuner.PutSpmm("scalar:r64:z256:c8", SpmmChoice{8, true});
+  tuner.PutGemmTransA("scalar:ta:k8:n8:m64", GemmChoice{8, 0});
+  tuner.PutGemmTransB("scalar:tb:k8:n8:m64", GemmChoice{16, 0});
   ASSERT_TRUE(tuner.SaveFile(path));
   KernelTuner loaded;
   ASSERT_TRUE(loaded.LoadFile(path));
@@ -443,6 +494,12 @@ TEST(TuningTest, SaveLoadFileRoundTrip) {
   SpmmChoice s;
   ASSERT_TRUE(loaded.LookupSpmm("scalar:r64:z256:c8", &s));
   EXPECT_TRUE(s.nnz_split);
+  GemmChoice ta;
+  ASSERT_TRUE(loaded.LookupGemmTransA("scalar:ta:k8:n8:m64", &ta));
+  EXPECT_EQ(ta.jblock, 8);
+  GemmChoice tb;
+  ASSERT_TRUE(loaded.LookupGemmTransB("scalar:tb:k8:n8:m64", &tb));
+  EXPECT_EQ(tb.jblock, 16);
   EXPECT_FALSE(loaded.LoadFile(path + ".does_not_exist"));
   std::remove(path.c_str());
 }
