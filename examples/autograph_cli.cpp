@@ -6,7 +6,14 @@
 // Usage:
 //   autograph_cli --data DIR [--algo adaptive|gradient] [--pool N] [--k K]
 //                 [--seed S] [--out FILE] [--nas] [--threads T]
+//                 [--reorder none|rcm|hub|shuffle]
 //                 [--trace-out FILE] [--metrics-out FILE]
+//
+// --reorder applies a locality pass (graph/reorder.h) before training: the
+// graph is relabeled internally, the train/val split is projected through
+// the permutation, and prediction ids are translated back so the written
+// file always refers to the original node ids. graph.* gauges capture the
+// before/after layout quality.
 //
 // --trace-out enables tracing and writes a chrome://tracing JSON timeline
 // of the whole run (pipeline stages, training epochs, SpMM/GEMM kernels);
@@ -27,7 +34,9 @@
 
 #include "core/autohens.h"
 #include "core/nas_random.h"
+#include "graph/reorder.h"
 #include "graph/split.h"
+#include "graph/statistics.h"
 #include "graph/synthetic.h"
 #include "io/autograph_format.h"
 #include "models/model_zoo.h"
@@ -121,6 +130,31 @@ int main(int argc, char** argv) {
   DataSplit split = RandomSplit(ds.graph, 0.75, 0.25, &rng);
   split.test.clear();  // unlabeled in the competition setting
 
+  // Optional locality pass. The split above and the prediction ids below
+  // stay external; translation happens exactly once at each boundary.
+  StatusOr<ReorderStrategy> strategy_or =
+      ParseReorderStrategy(FlagValue(argc, argv, "--reorder", "none"));
+  if (!strategy_or.ok()) {
+    std::fprintf(stderr, "%s\n", strategy_or.status().ToString().c_str());
+    return 1;
+  }
+  Graph graph = ds.graph;
+  if (strategy_or.value() != ReorderStrategy::kNone) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const GraphStatistics before = ComputeStatistics(ds.graph);
+    PublishGraphGauges(before, &reg);
+    graph = ReorderGraph(ds.graph, strategy_or.value(), config.seed);
+    const GraphStatistics after = ComputeStatistics(graph);
+    PublishGraphGauges(after, &reg, "reordered_");
+    std::printf("reorder=%s: bandwidth %lld -> %lld, mean column gap "
+                "%.1f -> %.1f\n",
+                ReorderStrategyName(strategy_or.value()),
+                static_cast<long long>(before.bandwidth),
+                static_cast<long long>(after.bandwidth),
+                before.mean_column_gap, after.mean_column_gap);
+    split = ProjectSplit(graph.permutation(), split);
+  }
+
   std::vector<CandidateSpec> candidates = CompactCandidatePool();
   if (HasFlag(argc, argv, "--nas")) {
     NasSearchConfig nas;
@@ -135,7 +169,7 @@ int main(int argc, char** argv) {
     candidates.insert(candidates.end(), novel.begin(), novel.end());
   }
 
-  auto result_or = RunAutoHEnsGnnChecked(ds.graph, split, candidates, config);
+  auto result_or = RunAutoHEnsGnnChecked(graph, split, candidates, config);
   if (!result_or.ok()) {
     std::fprintf(stderr, "autohens failed: %s\n",
                  result_or.status().ToString().c_str());
@@ -161,7 +195,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (int node : ds.test_nodes) {
-    out << node << "\t" << result.probs.ArgMaxRow(node) << "\n";
+    out << node << "\t"
+        << result.probs.ArgMaxRow(ToInternalId(graph.permutation(), node))
+        << "\n";
   }
   out.flush();
   if (!out.good()) {

@@ -17,7 +17,15 @@
 //
 // Usage:
 //   autohens_stream [--nodes N] [--mutations M] [--batch B] [--seed S]
+//                   [--reorder none|rcm|hub|shuffle]
 //                   [--assert-match] [--metrics-out FILE]
+//
+// --reorder runs the locality pass on the base graph before the server is
+// created AND re-runs it whenever a DeltaCsr compaction fires mid-stream
+// (compaction is the re-reorder point: overlays fold into fresh bases, the
+// cached layer states are row-gathered with zero FLOPs). The final memcmp
+// against the cold rebuild holds either way — that is the conformance gate
+// CI runs with `--reorder rcm --assert-match`.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -27,6 +35,7 @@
 #include "dyn/mutation.h"
 #include "dyn/snapshot.h"
 #include "dyn/stream_server.h"
+#include "graph/reorder.h"
 #include "graph/synthetic.h"
 #include "nn/linear.h"
 #include "obs/metrics.h"
@@ -68,10 +77,14 @@ ahg::dyn::Mutation RandomMutation(const ahg::dyn::GraphSnapshot& snap,
       return Mutation::AddEdge(u, v);
     }
     if (kind < 7) {  // remove a random existing edge
+      // Mutations speak external ids; the raw adjacency lives in the
+      // snapshot's (possibly locality-reordered) internal order, so the
+      // row lookup and the sampled column both cross the boundary once.
       const int u = static_cast<int>(rng->UniformInt(n));
-      const ahg::dyn::DeltaCsr::RowRef row = snap.raw_adjacency().Row(u);
+      const ahg::dyn::DeltaCsr::RowRef row =
+          snap.raw_adjacency().Row(snap.ToInternal(u));
       if (row.nnz == 0) continue;
-      const int v = row.cols[rng->UniformInt(row.nnz)];
+      const int v = snap.ToExternal(row.cols[rng->UniformInt(row.nnz)]);
       return Mutation::RemoveEdge(u, v);
     }
     if (kind < 9) {  // feature update
@@ -131,6 +144,20 @@ int main(int argc, char** argv) {
   std::printf("base graph: %d nodes, %lld edges\n", graph.num_nodes(),
               static_cast<long long>(graph.num_edges()));
 
+  StatusOr<ReorderStrategy> strategy_or =
+      ParseReorderStrategy(FlagValue(argc, argv, "--reorder", "none"));
+  if (!strategy_or.ok()) {
+    std::fprintf(stderr, "%s\n", strategy_or.status().ToString().c_str());
+    return 1;
+  }
+  const ReorderStrategy reorder = strategy_or.value();
+  if (reorder != ReorderStrategy::kNone) {
+    graph = ReorderGraph(graph, reorder, seed);
+    std::printf("reorder=%s applied to the base graph; compaction re-runs "
+                "it mid-stream\n",
+                ReorderStrategyName(reorder));
+  }
+
   // Untrained GCN in ServableModel layout (zoo weights, head W, head b);
   // the demo exercises the serving plumbing, not accuracy.
   serve::ServableModel model;
@@ -149,6 +176,8 @@ int main(int argc, char** argv) {
 
   StreamOptions stream_options;
   stream_options.refresh.pooling = pooling;
+  stream_options.reorder = reorder;
+  stream_options.reorder_seed = seed;
   auto server_or = StreamingServer::Create(graph, model, stream_options);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server create failed: %s\n",

@@ -55,7 +55,8 @@ void DeltaCsr::OverrideRow(int r, std::vector<int> cols,
   AHG_CHECK_EQ(cols.size(), vals.size());
   for (size_t i = 0; i < cols.size(); ++i) {
     AHG_CHECK(cols[i] >= 0 && cols[i] < cols_);
-    if (i > 0) AHG_CHECK_LT(cols[i - 1], cols[i]);  // ascending, no dups
+    // Ascending rank, no dups (rank == column id when no rank is set).
+    if (i > 0) AHG_CHECK_LT(RankOf(cols[i - 1]), RankOf(cols[i]));
   }
   nnz_ -= Row(r).nnz;
   nnz_ += static_cast<int64_t>(cols.size());
@@ -106,19 +107,27 @@ Matrix DeltaCsr::SpmmRows(const std::vector<int>& rows,
 }
 
 SparseMatrix DeltaCsr::Materialize() const {
-  std::vector<CooEntry> entries;
-  entries.reserve(nnz_);
+  // Direct row-by-row copy through FromCsrParts: FromCoo would re-sort
+  // entries by column id, destroying the stored (rank) order that reordered
+  // snapshots' bitwise-conformance rests on.
+  std::vector<int64_t> row_ptr(rows_ + 1, 0);
+  for (int r = 0; r < rows_; ++r) row_ptr[r + 1] = row_ptr[r] + Row(r).nnz;
+  AHG_CHECK_EQ(row_ptr[rows_], nnz_);
+  std::vector<int> col_idx(nnz_);
+  std::vector<double> values(nnz_);
   for (int r = 0; r < rows_; ++r) {
     const RowRef row = Row(r);
-    for (int64_t e = 0; e < row.nnz; ++e) {
-      entries.push_back({r, row.cols[e], row.vals[e]});
-    }
+    std::copy(row.cols, row.cols + row.nnz, col_idx.data() + row_ptr[r]);
+    std::copy(row.vals, row.vals + row.nnz, values.data() + row_ptr[r]);
   }
-  return SparseMatrix::FromCoo(rows_, cols_, std::move(entries));
+  return SparseMatrix::FromCsrParts(rows_, cols_, std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
 }
 
 bool DeltaCsr::MaybeCompact() {
-  if (overlay_fraction() <= kCompactionFraction) return false;
+  // `<` so compaction fires AT the documented 25% threshold, not only
+  // strictly above it (an overlay of exactly rows/4 rows compacts).
+  if (overlay_fraction() < kCompactionFraction) return false;
   AHG_TRACE_SPAN_ARG("dyn/delta_compact", nnz_);
   base_ = std::make_shared<const SparseMatrix>(Materialize());
   overrides_.clear();

@@ -34,7 +34,8 @@ namespace ahg::dyn {
 
 class DeltaCsr {
  public:
-  // One row's view: `nnz` entries with ascending columns.
+  // One row's view: `nnz` entries with ascending column RANK (see
+  // SetColRank; rank is the column id itself when no rank is set).
   struct RowRef {
     const int* cols = nullptr;
     const double* vals = nullptr;
@@ -69,9 +70,30 @@ class DeltaCsr {
 
   RowRef Row(int r) const;
 
-  // Replaces row r's storage (cols ascending, no duplicates). Only this
-  // row is reallocated; all other rows keep sharing their storage.
+  // Replaces row r's storage (cols ascending by rank, no duplicates). Only
+  // this row is reallocated; all other rows keep sharing their storage.
   void OverrideRow(int r, std::vector<int> cols, std::vector<double> vals);
+
+  // Declares the storage order of this matrix's rows: entries are sorted by
+  // rank[col] instead of by col. Reordered snapshots (graph/reorder.h) set
+  // rank = to_external so every row keeps accumulating in ascending
+  // EXTERNAL id order — the rank-order invariant that makes reordered
+  // serving bitwise identical. Columns >= rank->size() (freshly grown
+  // nodes) rank as themselves, matching NodePermutation::ExtendedTo.
+  // Affects OverrideRow validation and callers' binary searches only; a
+  // null rank (the default) means plain ascending-column order.
+  void SetColRank(std::shared_ptr<const std::vector<int>> rank) {
+    col_rank_ = std::move(rank);
+  }
+  const std::vector<int>* col_rank() const { return col_rank_.get(); }
+
+  // Rank of column id c under the current rank vector (c itself when none
+  // is set or c is beyond it).
+  int64_t RankOf(int c) const {
+    return col_rank_ != nullptr && c < static_cast<int>(col_rank_->size())
+               ? (*col_rank_)[c]
+               : c;
+  }
 
   // Grows the logical shape (AddNode); new rows are empty. Never shrinks.
   void Grow(int rows, int cols);
@@ -84,12 +106,13 @@ class DeltaCsr {
   // of Spmm(x).
   Matrix SpmmRows(const std::vector<int>& rows, const Matrix& x) const;
 
-  // Flat CSR copy of the current state.
+  // Flat CSR copy of the current state. Stored entry order is preserved
+  // row by row (rank order on reordered snapshots), never re-sorted.
   SparseMatrix Materialize() const;
 
   // Folds base + overlay into a fresh base (clearing the overlay) when the
-  // overlay fraction exceeds kCompactionFraction. Returns true if it
-  // compacted.
+  // overlay fraction reaches kCompactionFraction — AT the documented
+  // threshold, not strictly above it. Returns true if it compacted.
   bool MaybeCompact();
 
  private:
@@ -103,6 +126,7 @@ class DeltaCsr {
   int64_t nnz_ = 0;
   std::shared_ptr<const SparseMatrix> base_;
   std::unordered_map<int, std::shared_ptr<const RowStore>> overrides_;
+  std::shared_ptr<const std::vector<int>> col_rank_;
 };
 
 }  // namespace ahg::dyn

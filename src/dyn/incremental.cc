@@ -217,6 +217,24 @@ StatusOr<RefreshStats> IncrementalPropagator::Refresh(
   return stats;
 }
 
+void IncrementalPropagator::ApplyReorder(const std::vector<int>& remap,
+                                         uint64_t new_version) {
+  AHG_CHECK(has_state_);
+  AHG_TRACE_SPAN_ARG("dyn/apply_reorder",
+                     static_cast<int64_t>(remap.size()));
+  for (Matrix& s : states_) {
+    AHG_CHECK_EQ(s.rows(), static_cast<int>(remap.size()));
+    Matrix moved(s.rows(), s.cols());
+    for (int r = 0; r < s.rows(); ++r) {
+      std::memcpy(moved.Row(remap[r]), s.Row(r),
+                  static_cast<size_t>(s.cols()) * sizeof(double));
+    }
+    s = std::move(moved);
+  }
+  hidden_ = std::make_shared<const Matrix>(states_.back());
+  version_ = new_version;
+}
+
 Matrix IncrementalPropagator::ComputeFull(const GraphSnapshot& snap) const {
   AHG_CHECK_EQ(snap.feature_dim(), config_.in_dim);
   std::vector<Matrix> states = ComputeStates(snap, snap.DenseFeatures());

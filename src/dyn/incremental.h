@@ -96,6 +96,14 @@ class IncrementalPropagator {
   StatusOr<RefreshStats> Refresh(const GraphSnapshot& snap,
                                  const BatchDelta& delta);
 
+  // Row-gathers every cached layer state through `remap` (remap[old_row] =
+  // new_row) after a GraphSnapshot::Reordered relayout, and adopts the
+  // reordered snapshot's version. Pure data movement, zero FLOPs — rows
+  // keep their bytes at new positions — so the incremental dirty-set cost
+  // bound is untouched and the next Refresh patches as if the relayout
+  // never happened.
+  void ApplyReorder(const std::vector<int>& remap, uint64_t new_version);
+
   // Final hidden states H^(L) for the current version — an immutable copy
   // published per refresh, safe to hand to concurrent readers and caches.
   std::shared_ptr<const Matrix> hidden() const { return hidden_; }

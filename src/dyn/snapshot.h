@@ -37,6 +37,7 @@
 #include "dyn/delta_csr.h"
 #include "dyn/mutation.h"
 #include "graph/graph.h"
+#include "graph/reorder.h"
 #include "tensor/matrix.h"
 #include "util/status.h"
 
@@ -58,6 +59,11 @@ struct BatchDelta {
   int edges_added = 0;
   int edges_removed = 0;
   int features_updated = 0;
+  // True when this batch tripped DeltaCsr's 25% compaction threshold and the
+  // overlays were folded into fresh bases. The compaction point is also the
+  // locality plane's re-reorder point: a caller serving a reordered snapshot
+  // should follow a compacted batch with Reordered() (see stream_server.cc).
+  bool compacted = false;
 
   size_t TotalMutations() const {
     return static_cast<size_t>(nodes_added) + edges_added + edges_removed +
@@ -65,13 +71,19 @@ struct BatchDelta {
   }
 };
 
+struct ReorderResult;  // defined after GraphSnapshot
+
 class GraphSnapshot {
  public:
   GraphSnapshot() = default;
 
   // Snapshot version 0 from a static graph. The graph must be undirected,
   // self-loop free, and carry features (rows == num_nodes). Its kSymNorm
-  // adjacency is shared verbatim (see file comment).
+  // adjacency is shared verbatim (see file comment). A reordered graph
+  // (graph.permutation() != nullptr) yields a reordered snapshot: rows live
+  // in internal order, every CSR keeps the rank-order invariant
+  // (graph/reorder.h), and mutation/query node ids stay EXTERNAL — Apply and
+  // callers translate at the boundary.
   static StatusOr<GraphSnapshot> FromGraph(const Graph& graph);
 
   uint64_t version() const { return version_; }
@@ -87,8 +99,24 @@ class GraphSnapshot {
   // Raw symmetric weights without self loops (topology queries, rebuilds).
   const DeltaCsr& raw_adjacency() const { return raw_; }
 
+  // Permutation between external ids (mutations, queries) and internal rows;
+  // null when the snapshot was built from an unreordered graph and never
+  // re-reordered. Extended with identity entries on AddNode.
+  const NodePermutation* permutation() const { return perm_.get(); }
+
+  // External-id boundary helpers (identity when unreordered).
+  int ToInternal(int external_id) const {
+    return ToInternalId(perm_.get(), external_id);
+  }
+  int ToExternal(int internal_id) const {
+    return ToExternalId(perm_.get(), internal_id);
+  }
+
+  // `u`, `v` are external ids.
   bool HasEdge(int u, int v) const;
 
+  // `r` is an INTERNAL row id (propagator space), like every other row-level
+  // accessor on this class.
   const double* FeatureRow(int r) const;
   int label(int r) const;
 
@@ -109,8 +137,23 @@ class GraphSnapshot {
 
   // From-scratch static Graph with this snapshot's topology, features and
   // labels — the independent rebuild the stream example and tests compare
-  // against.
+  // against. On a reordered snapshot the result carries the same
+  // permutation (external graph rebuilt, then re-permuted), so its CSR
+  // caches keep the rank-order invariant and a cold engine on it serves
+  // bitwise identically to the incremental path.
   Graph MaterializeGraph() const;
+
+  // Recomputes the layout from the CURRENT logical topology expressed in
+  // external ids — the new permutation depends only on (logical graph,
+  // strategy, seed), never on the incidental internal layout it replaces —
+  // and rebuilds raw/normalized bases, features, labels and degrees in the
+  // new order with stored entry order preserved (still ascending external,
+  // so bitwise conformance survives). Overlays fold into the fresh bases;
+  // the version advances by one. Intended to run right after a batch whose
+  // BatchDelta reports `compacted` (the overlay was already dominated by
+  // churn, so a relayout costs little extra). Works on unreordered
+  // snapshots too (attaches a first permutation).
+  ReorderResult Reordered(ReorderStrategy strategy, uint64_t seed) const;
 
  private:
   uint64_t version_ = 0;
@@ -127,6 +170,17 @@ class GraphSnapshot {
   std::unordered_map<int, std::shared_ptr<const std::vector<double>>>
       feat_overrides_;
   std::shared_ptr<const std::vector<int>> labels_;
+  // External<->internal bijection; null = identity layout. raw_ and adj_
+  // carry an aliased pointer to perm_->to_external as their column rank.
+  std::shared_ptr<const NodePermutation> perm_;
+};
+
+// Result of a re-reorder: the next snapshot version plus the internal remap
+// (remap[old_internal] = new_internal) callers use to gather any row-indexed
+// state they hold (IncrementalPropagator::ApplyReorder).
+struct ReorderResult {
+  GraphSnapshot snapshot;
+  std::vector<int> remap;
 };
 
 }  // namespace ahg::dyn

@@ -102,7 +102,21 @@ StatusOr<RefreshStats> StreamingServer::ApplyPending() {
 
   auto stats_or = propagator_->Refresh(*next, delta);
   if (!stats_or.ok()) return stats_or.status();
-  const RefreshStats stats = stats_or.value();
+  RefreshStats stats = stats_or.value();
+
+  if (delta.compacted && options_.reorder != ReorderStrategy::kNone) {
+    // Compaction is the re-reorder point: the overlays just folded into
+    // fresh bases anyway, so recomputing the locality layout now is the
+    // cheap moment. States are row-gathered (zero FLOPs), so the refresh
+    // cost bound above is untouched.
+    ReorderResult reordered =
+        next->Reordered(options_.reorder, options_.reorder_seed);
+    propagator_->ApplyReorder(reordered.remap,
+                              reordered.snapshot.version());
+    next = std::make_shared<const GraphSnapshot>(
+        std::move(reordered.snapshot));
+    stats.version = next->version();
+  }
 
   auto state = std::make_shared<State>();
   state->snap = std::move(next);
@@ -133,7 +147,12 @@ StatusOr<Matrix> StreamingServer::PredictNodes(
           StrFormat("node id %d out of range [0, %d)", node, h.rows()));
     }
   }
-  return serve::ApplyClassifierHead(GatherRows(h, nodes), model_);
+  // Query ids are external; hidden rows live in the snapshot's (possibly
+  // reordered) internal order — translate once at this boundary.
+  std::vector<int> rows;
+  rows.reserve(nodes.size());
+  for (int node : nodes) rows.push_back(s->snap->ToInternal(node));
+  return serve::ApplyClassifierHead(GatherRows(h, rows), model_);
 }
 
 std::shared_ptr<const GraphSnapshot> StreamingServer::snapshot() const {

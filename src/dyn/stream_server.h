@@ -41,6 +41,14 @@ struct StreamOptions {
   // Mutations folded into one snapshot step per ApplyPending (0 = all).
   size_t max_batch_mutations = 0;
   RefreshOptions refresh;
+  // When not kNone, a batch that trips DeltaCsr compaction (the overlay was
+  // already being folded into fresh bases, so a relayout costs little
+  // extra) is followed by GraphSnapshot::Reordered(reorder, reorder_seed)
+  // plus IncrementalPropagator::ApplyReorder — the snapshot gets a fresh
+  // locality layout mid-stream without breaking bitwise conformance or the
+  // dirty-row refresh bound. External query/mutation ids are unaffected.
+  ReorderStrategy reorder = ReorderStrategy::kNone;
+  uint64_t reorder_seed = 0;
 };
 
 class StreamingServer {

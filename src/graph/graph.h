@@ -8,6 +8,7 @@
 #ifndef AUTOHENS_GRAPH_GRAPH_H_
 #define AUTOHENS_GRAPH_GRAPH_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "util/status.h"
 
 namespace ahg {
+
+struct NodePermutation;  // graph/reorder.h
 
 struct Edge {
   int src = 0;
@@ -108,7 +111,20 @@ class Graph {
   // as CreateChecked, since induced ids feed untrusted sampling paths.
   StatusOr<Graph> InducedSubgraph(const std::vector<int>& nodes) const;
 
+  // The locality permutation this graph was relabeled by, or nullptr when
+  // node ids are in their original ("external") order. When set, every
+  // internal structure (rows of features/labels, CSR caches) lives in
+  // permuted order and callers holding external ids must translate through
+  // it — see graph/reorder.h for the invariant.
+  const NodePermutation* permutation() const { return perm_.get(); }
+  std::shared_ptr<const NodePermutation> permutation_ptr() const {
+    return perm_;
+  }
+
  private:
+  friend Graph ApplyNodePermutation(
+      const Graph& graph, std::shared_ptr<const NodePermutation> perm);
+
   void BuildAdjacencyCaches();
 
   int num_nodes_ = 0;
@@ -118,6 +134,7 @@ class Graph {
   Matrix features_;
   std::vector<int> labels_;
   SparseMatrix adjacency_[kNumAdjacencyKinds];
+  std::shared_ptr<const NodePermutation> perm_;
 };
 
 }  // namespace ahg

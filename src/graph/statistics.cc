@@ -1,10 +1,53 @@
 #include "graph/statistics.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ahg {
+
+namespace {
+
+// Locality of the kSymNorm CSR in the graph's current id order: bandwidth,
+// mean stored-column gap, hub mass. Stored order is what the SpMM kernels
+// walk, so gaps are measured between consecutive STORED entries (which are
+// ascending-external, not necessarily ascending-internal, on a reordered
+// graph — the |.| keeps the measure meaningful either way).
+void ComputeLocalityStats(const Graph& graph, GraphStatistics* stats) {
+  const SparseMatrix& adj = graph.Adjacency(AdjacencyKind::kSymNorm);
+  const std::vector<int64_t>& row_ptr = adj.row_ptr();
+  const std::vector<int>& col_idx = adj.col_idx();
+  const int n = adj.rows();
+  int64_t gap_sum = 0, gap_count = 0;
+  for (int r = 0; r < n; ++r) {
+    for (int64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      stats->bandwidth = std::max(
+          stats->bandwidth, std::abs(static_cast<int64_t>(col_idx[i]) - r));
+      if (i > row_ptr[r]) {
+        gap_sum += std::abs(static_cast<int64_t>(col_idx[i]) - col_idx[i - 1]);
+        ++gap_count;
+      }
+    }
+  }
+  stats->mean_column_gap =
+      gap_count > 0 ? static_cast<double>(gap_sum) / gap_count : 0.0;
+
+  if (n > 0 && adj.nnz() > 0) {
+    std::vector<int64_t> row_nnz(n);
+    for (int r = 0; r < n; ++r) row_nnz[r] = row_ptr[r + 1] - row_ptr[r];
+    std::sort(row_nnz.begin(), row_nnz.end(), std::greater<int64_t>());
+    const int top = std::max(1, n / 100);
+    int64_t hub_nnz = 0;
+    for (int r = 0; r < top; ++r) hub_nnz += row_nnz[r];
+    stats->hub_mass = static_cast<double>(hub_nnz) /
+                      static_cast<double>(adj.nnz());
+  }
+}
+
+}  // namespace
 
 GraphStatistics ComputeStatistics(const Graph& graph) {
   GraphStatistics stats;
@@ -88,7 +131,21 @@ GraphStatistics ComputeStatistics(const Graph& graph) {
     ++components;
   }
   stats.connected_components = components;
+  ComputeLocalityStats(graph, &stats);
   return stats;
+}
+
+void PublishGraphGauges(const GraphStatistics& stats,
+                        obs::MetricsRegistry* registry,
+                        const std::string& prefix) {
+  const std::string base = "graph." + prefix;
+  registry->GetGauge(base + "nodes")->Set(stats.num_nodes);
+  registry->GetGauge(base + "edges")
+      ->Set(static_cast<double>(stats.num_edges));
+  registry->GetGauge(base + "bandwidth")
+      ->Set(static_cast<double>(stats.bandwidth));
+  registry->GetGauge(base + "mean_column_gap")->Set(stats.mean_column_gap);
+  registry->GetGauge(base + "hub_mass")->Set(stats.hub_mass);
 }
 
 }  // namespace ahg

@@ -33,6 +33,7 @@ std::vector<int> SortedUnion(const std::vector<int>& a,
 PartitionedEngine::PartitionedEngine(PartitionPlan plan, const Graph& graph)
     : plan_(std::move(plan)),
       exchange_(&plan_),
+      perm_(graph.permutation_ptr()),
       feature_dim_(graph.feature_dim()),
       num_classes_(graph.num_classes()) {
   feats_.reserve(plan_.num_parts);
@@ -200,11 +201,14 @@ StatusOr<Matrix> PartitionedEngine::GatherAndHead(
   const int n = static_cast<int>(plan_.part_of.size());
   Matrix hidden(static_cast<int>(nodes.size()), vs.config.hidden_dim);
   for (size_t i = 0; i < nodes.size(); ++i) {
-    const int g = nodes[i];
-    if (g < 0 || g >= n) {
+    if (nodes[i] < 0 || nodes[i] >= n) {
       return Status::InvalidArgument(
-          StrFormat("node %d outside [0, %d)", g, n));
+          StrFormat("node %d outside [0, %d)", nodes[i], n));
     }
+    // Query ids are external; plan globals are internal (see perm_).
+    const int g = perm_ != nullptr && nodes[i] < perm_->num_nodes()
+                      ? perm_->to_internal[nodes[i]]
+                      : nodes[i];
     const int p = plan_.part_of[g];
     const PartitionPlan::Part& part = plan_.parts[p];
     const Matrix& final_state = vs.states[p].back();
@@ -360,15 +364,27 @@ Status PartitionedEngine::ApplyDelta(const dyn::GraphSnapshot& snap,
         part.halo_globals.push_back(g);
       }
     }
-    std::vector<CooEntry> entries;
+    // Entry order copied as stored (not re-sorted by local id), preserving
+    // the SpMM accumulation order on plain and reordered graphs alike.
+    std::vector<int64_t> row_ptr(n_local + 1, 0);
+    for (int l : part.owned_locals) {
+      row_ptr[l + 1] = gadj.Row(part.locals[l]).nnz;
+    }
+    for (int l = 0; l < n_local; ++l) row_ptr[l + 1] += row_ptr[l];
+    std::vector<int> csr_cols(row_ptr[n_local]);
+    std::vector<double> csr_vals(row_ptr[n_local]);
     for (int l : part.owned_locals) {
       const dyn::DeltaCsr::RowRef row = gadj.Row(part.locals[l]);
-      for (int64_t e = 0; e < row.nnz; ++e) {
-        entries.push_back({l, part.local_of.at(row.cols[e]), row.vals[e]});
+      int64_t at = row_ptr[l];
+      for (int64_t e = 0; e < row.nnz; ++e, ++at) {
+        csr_cols[at] = part.local_of.at(row.cols[e]);
+        csr_vals[at] = row.vals[e];
       }
     }
     part.adj = dyn::DeltaCsr(std::make_shared<const SparseMatrix>(
-        SparseMatrix::FromCoo(n_local, n_local, std::move(entries))));
+        SparseMatrix::FromCsrParts(n_local, n_local, std::move(row_ptr),
+                                   std::move(csr_cols),
+                                   std::move(csr_vals))));
     Matrix new_feats(n_local, feature_dim_);
     for (int l = 0; l < n_local; ++l) {
       const int g = part.locals[l];
@@ -395,9 +411,27 @@ Status PartitionedEngine::ApplyDelta(const dyn::GraphSnapshot& snap,
     }
   }
 
+  // Parts whose local universe changed need a fresh column-rank vector so
+  // DeltaCsr's ascending-rank invariant keeps holding locally (rank of
+  // local l = external id of its global; identity when unreordered).
+  if (perm_ != nullptr) {
+    auto rank_of_global = [&](int g) {
+      return g < perm_->num_nodes() ? perm_->to_external[g] : g;
+    };
+    for (int p = 0; p < P; ++p) {
+      if (additions[p].empty()) continue;
+      PartitionPlan::Part& part = plan_.parts[p];
+      auto rank = std::make_shared<std::vector<int>>(part.num_local());
+      for (int l = 0; l < part.num_local(); ++l) {
+        (*rank)[l] = rank_of_global(part.locals[l]);
+      }
+      part.adj.SetColRank(std::move(rank));
+    }
+  }
+
   // 4. Patch dirty adjacency rows on their owning part (rebuilt parts are
-  // already fresh). Columns of the global row map to ascending local ids,
-  // so the override preserves entry order.
+  // already fresh). The override copies the global row's stored entry order
+  // (ascending rank), which column remapping preserves.
   for (int g : delta.dirty_adj_rows) {
     const int p = plan_.part_of[g];
     if (rebuilt[p]) continue;

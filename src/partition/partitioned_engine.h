@@ -120,6 +120,11 @@ class PartitionedEngine : public serve::NodePredictor {
   mutable std::shared_mutex mu_;
   PartitionPlan plan_;
   HaloExchange exchange_;
+  // Locality permutation of the Create graph (null when unreordered). Plan
+  // "global" ids are INTERNAL ids; query node ids are external and translate
+  // here. Nodes appended by ApplyDelta map to themselves (identity tail),
+  // matching GraphSnapshot's ExtendedTo convention.
+  std::shared_ptr<const NodePermutation> perm_;
   int feature_dim_ = 0;
   int num_classes_ = 0;
   uint64_t snapshot_version_ = 0;

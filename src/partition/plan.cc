@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "graph/reorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -62,20 +63,40 @@ PartitionPlan Materialize(const Graph& graph, std::vector<int> part_of,
       }
     }
 
-    // Local CSR: owned rows replicate the global kSymNorm rows with columns
-    // remapped (ascending global => ascending local, so entry order — and
-    // with it the SpMM accumulation order — is preserved); halo rows stay
-    // empty. FromCoo sorts by (row, col), which matches that order exactly.
-    std::vector<CooEntry> entries;
+    // Local CSR: owned rows replicate the global kSymNorm rows verbatim with
+    // columns remapped (halo rows stay empty), entry order copied as stored —
+    // so the SpMM accumulation order, and with it bitwise conformance,
+    // survives partitioning on plain AND locality-reordered graphs (where
+    // stored order is ascending external, not ascending internal, and a
+    // column re-sort would change the FP accumulation sequence).
+    std::vector<int64_t> row_ptr(n_local + 1, 0);
     for (int l : part.owned_locals) {
       const int g = part.locals[l];
-      for (int64_t e = adj.row_ptr()[g]; e < adj.row_ptr()[g + 1]; ++e) {
-        entries.push_back({l, part.local_of.at(adj.col_idx()[e]),
-                           adj.values()[e]});
+      row_ptr[l + 1] = adj.row_ptr()[g + 1] - adj.row_ptr()[g];
+    }
+    for (int l = 0; l < n_local; ++l) row_ptr[l + 1] += row_ptr[l];
+    std::vector<int> col_idx(row_ptr[n_local]);
+    std::vector<double> values(row_ptr[n_local]);
+    for (int l : part.owned_locals) {
+      const int g = part.locals[l];
+      int64_t at = row_ptr[l];
+      for (int64_t e = adj.row_ptr()[g]; e < adj.row_ptr()[g + 1]; ++e, ++at) {
+        col_idx[at] = part.local_of.at(adj.col_idx()[e]);
+        values[at] = adj.values()[e];
       }
     }
     part.adj = dyn::DeltaCsr(std::make_shared<const SparseMatrix>(
-        SparseMatrix::FromCoo(n_local, n_local, std::move(entries))));
+        SparseMatrix::FromCsrParts(n_local, n_local, std::move(row_ptr),
+                                   std::move(col_idx), std::move(values))));
+    if (graph.permutation() != nullptr) {
+      // Local column rank = external id of the local's global node, so
+      // DeltaCsr's ascending-rank invariant keeps holding part-locally.
+      auto rank = std::make_shared<std::vector<int>>(n_local);
+      for (int l = 0; l < n_local; ++l) {
+        (*rank)[l] = graph.permutation()->to_external[part.locals[l]];
+      }
+      part.adj.SetColRank(std::move(rank));
+    }
   }
   return plan;
 }

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "autodiff/ops.h"
+#include "graph/reorder.h"
 #include "nn/linear.h"
 #include "obs/trace.h"
 #include "tensor/pool.h"
@@ -96,6 +97,15 @@ StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
   const Matrix& h = *hidden.value();
+  // Query ids are external; hidden rows live in the serving graph's
+  // (possibly reordered) internal order. Translate once here — the same
+  // benign swap race as the row-count validation below, since a reordered
+  // graph swap republishes matching hidden states with it.
+  const NodePermutation* perm;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    perm = graph_->permutation();
+  }
   // Validate against the hidden-state matrix the request resolved, so the
   // answer is self-consistent even when a swap lands mid-request.
   for (int node : nodes) {
@@ -106,7 +116,8 @@ StatusOr<Matrix> InferenceEngine::PredictNodes(const ServableModel& model,
   }
   Matrix rows(static_cast<int>(nodes.size()), h.cols());
   for (size_t i = 0; i < nodes.size(); ++i) {
-    std::memcpy(rows.Row(static_cast<int>(i)), h.Row(nodes[i]),
+    std::memcpy(rows.Row(static_cast<int>(i)),
+                h.Row(ToInternalId(perm, nodes[i])),
                 static_cast<size_t>(h.cols()) * sizeof(double));
   }
   return ApplyClassifierHead(rows, model);
@@ -116,7 +127,18 @@ StatusOr<Matrix> InferenceEngine::PredictAll(const ServableModel& model) {
   ScopedMemPlane mem_plane(pooling_, fusion_);
   auto hidden = HiddenStates(model);
   if (!hidden.ok()) return hidden.status();
-  return ApplyClassifierHead(*hidden.value(), model);
+  Matrix probs = ApplyClassifierHead(*hidden.value(), model);
+  const NodePermutation* perm;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    perm = graph_->permutation();
+  }
+  // Row order is an external contract: row e is node e's probabilities. On
+  // a reordered graph, gather the internally ordered rows back out.
+  if (perm != nullptr && probs.rows() == perm->num_nodes()) {
+    probs = GatherRows(probs, perm->to_internal);
+  }
+  return probs;
 }
 
 Status InferenceEngine::Warm(const ServableModel& model) {
@@ -197,7 +219,12 @@ Matrix InferenceEngine::TrainingPathProbs(const ServableModel& model,
   ctx.training = false;
   Var logits = head.Apply(zoo->LayerOutputs(ctx, MakeConstant(graph.features()))
                               .back());
-  return RowSoftmax(logits->value);
+  Matrix probs = RowSoftmax(logits->value);
+  // Same external row contract as PredictAll.
+  if (graph.permutation() != nullptr) {
+    probs = GatherRows(probs, graph.permutation()->to_internal);
+  }
+  return probs;
 }
 
 }  // namespace ahg::serve

@@ -25,12 +25,26 @@ constexpr int64_t kSpmmTuneMinWork = 1 << 20;
 // and block widths. Shared by Spmm and SpmmRows. Rows with no entries
 // write a zero row (the accumulators start at 0 and are always stored).
 inline void SpmmRowKernel(const kernels::TierOps& ops, int cblock,
-                          const int64_t* row_ptr, int64_t r,
-                          const int* col_idx, const double* values,
-                          const Matrix& x, double* yrow) {
-  const int64_t e_begin = row_ptr[r];
-  ops.spmm_row(cblock, values + e_begin, col_idx + e_begin,
-               row_ptr[r + 1] - e_begin, x.data(), x.cols(), x.cols(), yrow);
+                          const SparseMatrix& m, int64_t r, const Matrix& x,
+                          double* yrow) {
+  const int64_t e_begin = m.row_ptr()[r];
+  const SparseMatrix::HubSegments* hub = m.hub_segments();
+  if (hub != nullptr && hub->is_hub[r] != 0 &&
+      ops.spmm_hub_row != nullptr) {
+    // Compressed hub row: run metadata instead of per-entry column loads.
+    // The kernel consumes values in the same stored order, so the result is
+    // bitwise identical to the plain path.
+    const int64_t run_begin = hub->run_ptr[r];
+    ops.spmm_hub_row(cblock, m.values().data() + e_begin,
+                     hub->run_cols.data() + run_begin,
+                     hub->run_lens.data() + run_begin,
+                     static_cast<int>(hub->run_ptr[r + 1] - run_begin),
+                     x.data(), x.cols(), x.cols(), yrow);
+    return;
+  }
+  ops.spmm_row(cblock, m.values().data() + e_begin,
+               m.col_idx().data() + e_begin, m.row_ptr()[r + 1] - e_begin,
+               x.data(), x.cols(), x.cols(), yrow);
 }
 
 int64_t SpmmNowNs() {
@@ -47,8 +61,7 @@ void SpmmRowSplitPass(const kernels::TierOps& ops, int cblock,
       m.rows() > 0 ? std::max<int64_t>(1, m.nnz() / m.rows()) * x.cols() : 1;
   ParallelForChunked(m.rows(), work_per_row, [&](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
-      SpmmRowKernel(ops, cblock, m.row_ptr().data(), r, m.col_idx().data(),
-                    m.values().data(), x, y->Row(static_cast<int>(r)));
+      SpmmRowKernel(ops, cblock, m, r, x, y->Row(static_cast<int>(r)));
     }
   });
 }
@@ -82,8 +95,7 @@ void SpmmNnzSplitPass(const kernels::TierOps& ops, int cblock,
                      [&](int64_t begin, int64_t end) {
     for (int64_t ci = begin; ci < end; ++ci) {
       for (int64_t r = bounds[ci]; r < bounds[ci + 1]; ++r) {
-        SpmmRowKernel(ops, cblock, row_ptr.data(), r, m.col_idx().data(),
-                      m.values().data(), x, y->Row(static_cast<int>(r)));
+        SpmmRowKernel(ops, cblock, m, r, x, y->Row(static_cast<int>(r)));
       }
     }
   });
@@ -174,6 +186,70 @@ SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
   return BuildFromValidCoo(rows, cols, std::move(entries));
 }
 
+SparseMatrix SparseMatrix::FromCsrParts(int rows, int cols,
+                                        std::vector<int64_t> row_ptr,
+                                        std::vector<int> col_idx,
+                                        std::vector<double> values) {
+  AHG_CHECK_GE(rows, 0);
+  AHG_CHECK_GE(cols, 0);
+  AHG_CHECK_EQ(static_cast<int64_t>(row_ptr.size()),
+               static_cast<int64_t>(rows) + 1);
+  AHG_CHECK_EQ(row_ptr.empty() ? 0 : row_ptr.front(), 0);
+  AHG_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(col_idx.size()));
+  AHG_CHECK_EQ(col_idx.size(), values.size());
+  for (int r = 0; r < rows; ++r) {
+    AHG_CHECK_LE(row_ptr[r], row_ptr[r + 1]);
+  }
+  for (int c : col_idx) AHG_CHECK(c >= 0 && c < cols);
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  m.tracked_.Reset(m.row_ptr_.size() * sizeof(int64_t) +
+                   m.col_idx_.size() * sizeof(int) +
+                   m.values_.size() * sizeof(double));
+  return m;
+}
+
+void SparseMatrix::BuildHubSegments(int64_t min_row_nnz) {
+  AHG_CHECK_GT(min_row_nnz, 0);
+  auto hub = std::make_shared<HubSegments>();
+  hub->is_hub.assign(rows_, 0);
+  hub->run_ptr.assign(rows_ + 1, 0);
+  for (int r = 0; r < rows_; ++r) {
+    hub->run_ptr[r + 1] = hub->run_ptr[r];
+    const int64_t begin = row_ptr_[r];
+    const int64_t end = row_ptr_[r + 1];
+    if (end - begin < min_row_nnz) continue;
+    hub->is_hub[r] = 1;
+    ++hub->num_hub_rows;
+    int64_t i = begin;
+    while (i < end) {
+      // One run: maximal stretch of stored entries with consecutive column
+      // ids. Stored order is preserved, never re-sorted.
+      int64_t len = 1;
+      while (i + len < end && col_idx_[i + len] == col_idx_[i + len - 1] + 1) {
+        ++len;
+      }
+      hub->run_cols.push_back(col_idx_[i]);
+      hub->run_lens.push_back(static_cast<int>(len));
+      hub->run_ptr[r + 1] += 1;
+      i += len;
+    }
+  }
+  if (hub->num_hub_rows == 0) {
+    hub_.reset();
+    return;
+  }
+  hub->tracked.Reset(hub->is_hub.size() * sizeof(uint8_t) +
+                     hub->run_ptr.size() * sizeof(int64_t) +
+                     hub->run_cols.size() * sizeof(int) +
+                     hub->run_lens.size() * sizeof(int));
+  hub_ = std::move(hub);
+}
+
 StatusOr<SparseMatrix> SparseMatrix::FromCooChecked(
     int rows, int cols, std::vector<CooEntry> entries) {
   if (rows < 0 || cols < 0) {
@@ -232,8 +308,8 @@ Matrix SparseMatrix::SpmmRows(const std::vector<int>& rows,
     for (int64_t i = begin; i < end; ++i) {
       const int r = rows[i];
       AHG_CHECK(r >= 0 && r < rows_);
-      SpmmRowKernel(ops, choice.cblock, row_ptr_.data(), r, col_idx_.data(),
-                    values_.data(), x, y.Row(static_cast<int>(i)));
+      SpmmRowKernel(ops, choice.cblock, *this, r, x,
+                    y.Row(static_cast<int>(i)));
     }
   });
   return y;
